@@ -1,0 +1,47 @@
+// Reproduces Figure 4 ("Complete versus Global/Detailed Execution
+// Times"): the Table-3 data plotted against design-point index.  Prints
+// an ASCII rendering, writes gnuplot-ready data (gmm_figure4.dat), and
+// shows the paper's own series for shape comparison.  Reuses the cached
+// Table-3 sweep when fresh (same seed/limit), otherwise re-runs it.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/ascii_plot.hpp"
+
+int main() {
+  using namespace gmm;
+  std::printf("== Figure 4: complete vs global/detailed scaling ==\n\n");
+
+  const std::vector<bench::Table3Row> rows =
+      bench::run_or_load_table3_sweep();
+
+  report::Series complete{"complete approach (measured)", {}, '*'};
+  report::Series global{"global/detailed approach (measured)", {}, 'o'};
+  report::Series paper_complete{"complete (paper, Ultra-30)", {}, 'C'};
+  report::Series paper_global{"global/detailed (paper, Ultra-30)", {}, 'G'};
+  for (const bench::Table3Row& row : rows) {
+    complete.y.push_back(row.complete_seconds);
+    global.y.push_back(row.global_seconds);
+    paper_complete.y.push_back(row.point.paper_complete_seconds);
+    paper_global.y.push_back(row.point.paper_global_seconds);
+  }
+
+  report::PlotOptions options;
+  options.x_label = "design point (increasing problem size)";
+  options.y_label = "execution time (seconds, log scale)";
+  options.log_y = true;
+  report::ascii_plot(std::cout, {complete, global}, options);
+
+  std::printf("\n-- paper series (same axes) --\n");
+  report::ascii_plot(std::cout, {paper_complete, paper_global}, options);
+
+  std::ofstream data("gmm_figure4.dat");
+  report::write_gnuplot_data(
+      data, {complete, global, paper_complete, paper_global});
+  std::printf(
+      "\nWrote gmm_figure4.dat (gnuplot: plot 'gmm_figure4.dat' u 1:2 w lp "
+      "t 'complete', '' u 1:3 w lp t 'global/detailed')\n");
+  return 0;
+}

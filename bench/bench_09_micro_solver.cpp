@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) of the solver and pre-processing
+// kernels: dual-simplex LP solves, refactorization, consumed_ports /
+// placement planning, MILP knapsacks, and the detailed packer.
+#include <benchmark/benchmark.h>
+
+#include "arch/device_catalog.hpp"
+#include "ilp/mip_solver.hpp"
+#include "lp/solver.hpp"
+#include "mapping/detailed_mapper.hpp"
+#include "mapping/preprocess.hpp"
+#include "support/rng.hpp"
+#include "workload/table3_suite.hpp"
+
+namespace {
+
+using namespace gmm;
+
+lp::Model random_lp(int vars, int rows, std::uint64_t seed) {
+  support::Rng rng(seed);
+  lp::Model model;
+  for (int j = 0; j < vars; ++j) {
+    model.add_variable(0, 10, static_cast<double>(rng.uniform_int(-10, 10)));
+  }
+  for (int i = 0; i < rows; ++i) {
+    lp::LinExpr expr;
+    double mid = 0;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.bernoulli(0.3)) {
+        const double a = static_cast<double>(rng.uniform_int(-5, 5));
+        if (a != 0) {
+          expr.add(j, a);
+          mid += 5 * a;
+        }
+      }
+    }
+    if (!expr.empty()) {
+      model.add_constraint(expr, lp::Sense::kLessEqual,
+                           mid + static_cast<double>(rng.uniform_int(0, 30)));
+    }
+  }
+  return model;
+}
+
+void BM_LpSolve(benchmark::State& state) {
+  const lp::Model model = random_lp(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(1)), 42);
+  for (auto _ : state) {
+    const lp::LpResult r = lp::solve_lp(model);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_LpSolve)->Args({50, 30})->Args({200, 100})->Args({500, 250});
+
+void BM_MipKnapsack(benchmark::State& state) {
+  support::Rng rng(7);
+  lp::Model model;
+  lp::LinExpr weight;
+  for (int i = 0; i < state.range(0); ++i) {
+    weight.add(model.add_binary(static_cast<double>(-rng.uniform_int(1, 100))),
+               static_cast<double>(rng.uniform_int(1, 50)));
+  }
+  model.add_constraint(weight, lp::Sense::kLessEqual,
+                       static_cast<double>(state.range(0)) * 10.0);
+  for (auto _ : state) {
+    const ilp::MipResult r = ilp::solve_mip(model);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_MipKnapsack)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_PlanPlacement(benchmark::State& state) {
+  const arch::BankType bank =
+      arch::on_chip_bank_type(*arch::find_device("XCV1000"));
+  support::Rng rng(13);
+  std::vector<design::DataStructure> shapes;
+  for (int i = 0; i < 256; ++i) {
+    design::DataStructure ds;
+    ds.name = "s";
+    ds.depth = rng.uniform_int(1, 16384);
+    ds.width = rng.uniform_int(1, 64);
+    shapes.push_back(ds);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const mapping::PlacementPlan plan =
+        mapping::plan_placement(shapes[i++ % shapes.size()], bank);
+    benchmark::DoNotOptimize(plan.cp);
+  }
+}
+BENCHMARK(BM_PlanPlacement);
+
+void BM_ConsumedPorts(benchmark::State& state) {
+  std::int64_t d = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::consumed_ports(d, 4096, 2));
+    d = d % 4000 + 1;
+  }
+}
+BENCHMARK(BM_ConsumedPorts);
+
+void BM_DetailedPack(benchmark::State& state) {
+  const workload::Table3Instance instance =
+      workload::build_instance(workload::table3_points()[1]);
+  const mapping::CostTable table(instance.design, instance.board);
+  // A feasible assignment via the pipeline once, re-packed every
+  // iteration.
+  mapping::GlobalAssignment assignment;
+  assignment.type_of.assign(instance.design.size(), -1);
+  for (std::size_t d = 0; d < instance.design.size(); ++d) {
+    for (std::size_t t = 0; t < instance.board.num_types(); ++t) {
+      if (table.feasible(d, t)) {
+        assignment.type_of[d] = static_cast<int>(t);
+        break;
+      }
+    }
+  }
+  for (auto _ : state) {
+    const mapping::DetailedMapping m = mapping::map_detailed(
+        instance.design, instance.board, table, assignment);
+    benchmark::DoNotOptimize(m.fragments.size());
+  }
+}
+BENCHMARK(BM_DetailedPack);
+
+}  // namespace

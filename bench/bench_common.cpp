@@ -1,0 +1,167 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "mapping/complete_mapper.hpp"
+#include "mapping/pipeline.hpp"
+#include "support/string_util.hpp"
+#include "support/timer.hpp"
+
+namespace gmm::bench {
+
+namespace {
+
+constexpr const char* kCachePath = "gmm_table3_results.csv";
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  double parsed = 0.0;
+  return support::parse_double(value, parsed) ? parsed : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::int64_t parsed = 0;
+  return support::parse_int(value, parsed) ? parsed : fallback;
+}
+
+}  // namespace
+
+double env_time_limit() { return env_double("GMM_BENCH_TIME_LIMIT", 120.0); }
+
+std::uint64_t env_seed() {
+  return static_cast<std::uint64_t>(env_int("GMM_BENCH_SEED", 2001));
+}
+
+int env_max_point() {
+  return static_cast<int>(env_int("GMM_BENCH_MAX_POINT", 9));
+}
+
+std::string fmt_seconds(double seconds) {
+  return support::format_fixed(seconds, seconds < 10 ? 2 : 1);
+}
+
+namespace {
+
+std::string cache_header() {
+  std::ostringstream out;
+  out << "# gmm table3 cache seed=" << env_seed()
+      << " limit=" << env_time_limit() << " points=" << env_max_point();
+  return out.str();
+}
+
+std::optional<std::vector<Table3Row>> load_cache() {
+  std::ifstream in(kCachePath);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != cache_header()) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;  // skip column header
+  std::vector<Table3Row> rows;
+  const auto& points = workload::table3_points();
+  while (std::getline(in, line)) {
+    const std::vector<std::string> f = support::split(line, ',');
+    if (f.size() != 12) return std::nullopt;
+    Table3Row row;
+    std::int64_t index = 0;
+    if (!support::parse_int(f[0], index) || index < 1 ||
+        index > static_cast<std::int64_t>(points.size())) {
+      return std::nullopt;
+    }
+    row.point = points[index - 1];
+    if (!support::parse_double(f[4], row.complete_seconds)) return std::nullopt;
+    row.complete_status = f[5];
+    if (!support::parse_double(f[6], row.complete_gap)) return std::nullopt;
+    if (!support::parse_double(f[7], row.global_seconds)) return std::nullopt;
+    row.global_status = f[8];
+    row.objectives_match = f[9] == "yes";
+    support::parse_int(f[10], row.complete_vars);
+    support::parse_int(f[11], row.global_vars);
+    rows.push_back(row);
+  }
+  return rows.empty() ? std::nullopt : std::make_optional(rows);
+}
+
+void store_cache(const std::vector<Table3Row>& rows) {
+  std::ofstream out(kCachePath);
+  out << cache_header() << "\n";
+  out << "point,segments,banks_ports,configs,complete_s,complete_status,"
+         "complete_gap,global_s,global_status,parity,complete_vars,"
+         "global_vars\n";
+  for (const Table3Row& row : rows) {
+    out << row.point.index << "," << row.point.segments << ","
+        << row.point.totals.banks << "/" << row.point.totals.ports << ","
+        << row.point.totals.configs << "," << row.complete_seconds << ","
+        << row.complete_status << "," << row.complete_gap << ","
+        << row.global_seconds << "," << row.global_status << ","
+        << (row.objectives_match ? "yes" : "no") << "," << row.complete_vars
+        << "," << row.global_vars << "\n";
+  }
+}
+
+}  // namespace
+
+std::vector<Table3Row> run_or_load_table3_sweep() {
+  if (auto cached = load_cache()) {
+    std::fprintf(stderr,
+                 "[bench] reusing %s (same seed/limit/points)\n",
+                 kCachePath);
+    return *cached;
+  }
+
+  std::vector<Table3Row> rows;
+  const int max_point = env_max_point();
+  for (const workload::Table3Point& point : workload::table3_points()) {
+    if (point.index > max_point) break;
+    std::fprintf(stderr, "[bench] table3 point %d (%lld segments)...\n",
+                 point.index, static_cast<long long>(point.segments));
+    const workload::Table3Instance instance =
+        workload::build_instance(point, env_seed());
+
+    Table3Row row;
+    row.point = point;
+
+    // Global/detailed pipeline (includes pre-processing, as the paper's
+    // timing does).
+    support::WallTimer timer;
+    mapping::PipelineOptions pipeline_options;
+    pipeline_options.global.mip.time_limit_seconds = env_time_limit();
+    const mapping::PipelineResult pipeline =
+        mapping::map_pipeline(instance.design, instance.board,
+                              pipeline_options);
+    row.global_seconds = timer.seconds();
+    row.global_status = lp::to_string(pipeline.status);
+    row.global_vars = pipeline.model_size.variables;
+    row.global_rows = pipeline.model_size.rows;
+
+    // Complete (flat) approach, same cost table.
+    timer.reset();
+    const mapping::CostTable table(instance.design, instance.board);
+    mapping::CompleteOptions complete_options;
+    complete_options.mip.time_limit_seconds = env_time_limit();
+    const mapping::CompleteResult complete = mapping::map_complete(
+        instance.design, instance.board, table, complete_options);
+    row.complete_seconds = timer.seconds();
+    row.complete_status = lp::to_string(complete.status);
+    row.complete_gap = complete.mip.has_incumbent() ? complete.mip.gap() : -1;
+    row.complete_vars = complete.model_size.variables;
+    row.complete_rows = complete.model_size.rows;
+
+    // Both solvers run at the CPLEX-like 1e-4 relative gap, so parity
+    // holds up to twice that.
+    row.objectives_match =
+        pipeline.status == lp::SolveStatus::kOptimal &&
+        complete.mip.has_incumbent() &&
+        std::abs(pipeline.assignment.objective - complete.mip.objective) <=
+            2e-4 * std::max(1.0, pipeline.assignment.objective);
+    rows.push_back(row);
+  }
+  store_cache(rows);
+  return rows;
+}
+
+}  // namespace gmm::bench

@@ -1,0 +1,45 @@
+// Shared infrastructure for the bench binaries: environment knobs, the
+// Table-3 sweep (shared between the Table-3 and Figure-4 benches via a
+// CSV cache), and small formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/table3_suite.hpp"
+
+namespace gmm::bench {
+
+/// Environment knobs (all optional):
+///   GMM_BENCH_TIME_LIMIT  seconds per complete-approach solve (default 120)
+///   GMM_BENCH_SEED        workload seed (default 2001)
+///   GMM_BENCH_MAX_POINT   run Table-3 points 1..N only (default 9)
+double env_time_limit();
+std::uint64_t env_seed();
+int env_max_point();
+
+/// One measured Table-3 row.
+struct Table3Row {
+  workload::Table3Point point;
+  double complete_seconds = 0.0;
+  std::string complete_status;
+  double complete_gap = 0.0;   // relative gap when not proven optimal
+  double global_seconds = 0.0;
+  std::string global_status;
+  bool objectives_match = false;  // quality parity on this point
+  std::int64_t complete_vars = 0, complete_rows = 0;
+  std::int64_t global_vars = 0, global_rows = 0;
+};
+
+/// Run (or reuse) the Table-3 sweep.  Results are cached in
+/// `gmm_table3_results.csv` in the working directory; a cache produced
+/// with the same seed/limit/point-count is reused so the Figure-4 bench
+/// does not re-pay the complete-approach solves.
+std::vector<Table3Row> run_or_load_table3_sweep();
+
+/// Format seconds with one decimal, like the paper's tables.
+std::string fmt_seconds(double seconds);
+
+}  // namespace gmm::bench

@@ -1,0 +1,154 @@
+// Command-line mapper: the library as a standalone tool.
+//
+//   mapper_cli <board-file> <design-file> [--complete] [--csv] [--map]
+//
+// Reads the text formats of arch_io/design_io (see examples/data/ for
+// samples), runs the requested mapper, and prints the assignment,
+// placements and solve statistics.  --csv emits a machine-readable
+// placement dump on stdout instead of tables; --map appends the
+// per-instance memory-map report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "arch/arch_io.hpp"
+#include "design/design_io.hpp"
+#include "mapping/complete_mapper.hpp"
+#include "mapping/pipeline.hpp"
+#include "mapping/validate.hpp"
+#include "report/placement_report.hpp"
+#include "report/text_table.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <board-file> <design-file> [--complete] [--csv]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmm;
+  if (argc < 3) return usage(argv[0]);
+  bool use_complete = false;
+  bool csv = false;
+  bool memory_map = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--complete") == 0) {
+      use_complete = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--map") == 0) {
+      memory_map = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::ifstream board_file(argv[1]);
+  if (!board_file) {
+    std::fprintf(stderr, "cannot open board file %s\n", argv[1]);
+    return 1;
+  }
+  const arch::BoardParseResult board = arch::parse_board(board_file);
+  if (!board.ok) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], board.error.c_str());
+    return 1;
+  }
+  std::ifstream design_file(argv[2]);
+  if (!design_file) {
+    std::fprintf(stderr, "cannot open design file %s\n", argv[2]);
+    return 1;
+  }
+  const design::DesignParseResult parsed = design::parse_design(design_file);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], parsed.error.c_str());
+    return 1;
+  }
+
+  mapping::GlobalAssignment assignment;
+  mapping::DetailedMapping detailed;
+  mapping::SolveEffort effort;
+  lp::SolveStatus status;
+  if (use_complete) {
+    const mapping::CostTable table(parsed.design, board.board);
+    const mapping::CompleteResult r =
+        mapping::map_complete(parsed.design, board.board, table);
+    status = r.status;
+    assignment = r.assignment;
+    detailed = r.detailed;
+    effort = r.effort;
+  } else {
+    const mapping::PipelineResult r =
+        mapping::map_pipeline(parsed.design, board.board);
+    status = r.status;
+    assignment = r.assignment;
+    detailed = r.detailed;
+    effort = r.effort;
+  }
+
+  if (status != lp::SolveStatus::kOptimal &&
+      status != lp::SolveStatus::kFeasible) {
+    std::fprintf(stderr, "mapping failed: %s\n", lp::to_string(status));
+    return 1;
+  }
+  const auto violations = mapping::validate_mapping(
+      parsed.design, board.board, assignment, detailed);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "mapping produced %zu legality violations!\n",
+                 violations.size());
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "  %s\n", v.c_str());
+    }
+    return 1;
+  }
+
+  if (csv) {
+    std::printf("structure,type,instance,first_port,ports,config,offset_bits,"
+                "block_bits,kind\n");
+    for (const mapping::PlacedFragment& f : detailed.fragments) {
+      const arch::BankType& type = board.board.type(f.type);
+      std::printf("%s,%s,%lld,%lld,%lld,%s,%lld,%lld,%s\n",
+                  parsed.design.at(f.ds).name.c_str(), type.name.c_str(),
+                  static_cast<long long>(f.instance),
+                  static_cast<long long>(f.first_port),
+                  static_cast<long long>(f.ports),
+                  type.configs[f.config_index].to_string().c_str(),
+                  static_cast<long long>(f.offset_bits),
+                  static_cast<long long>(f.block_bits),
+                  mapping::to_string(f.kind));
+    }
+    return 0;
+  }
+
+  std::printf("%s mapping of '%s' onto '%s': %s, objective %.0f (%.3fs)\n\n",
+              use_complete ? "complete" : "global/detailed",
+              parsed.design.name().c_str(), board.board.name().c_str(),
+              lp::to_string(status), assignment.objective,
+              effort.total_seconds());
+  report::TextTable table({"Structure", "Depth x Width", "Bank type",
+                           "Fragments"});
+  table.set_alignment(0, report::Align::kLeft);
+  table.set_alignment(2, report::Align::kLeft);
+  for (std::size_t d = 0; d < parsed.design.size(); ++d) {
+    const design::DataStructure& ds = parsed.design.at(d);
+    table.add_row({ds.name,
+                   std::to_string(ds.depth) + "x" + std::to_string(ds.width),
+                   board.board.type(static_cast<std::size_t>(
+                                        assignment.type_of[d]))
+                       .name,
+                   std::to_string(detailed.fragment_count(d))});
+  }
+  table.print(std::cout);
+  if (memory_map) {
+    std::printf("\n");
+    report::write_placement_report(std::cout, parsed.design, board.board,
+                                   detailed);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "arch/arch_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/string_util.hpp"
+
+namespace gmm::arch {
+
+namespace {
+
+using support::parse_int;
+using support::split_ws;
+using support::trim;
+
+std::string line_error(int line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+}  // namespace
+
+BoardParseResult parse_board(std::istream& in) {
+  BoardParseResult result;
+  std::string line;
+  int line_no = 0;
+  bool in_type = false;
+  BankType current;
+
+  const auto fail = [&result](int line_number, const std::string& message) {
+    result.ok = false;
+    result.error = line_error(line_number, message);
+    return result;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens.front();
+
+    if (keyword == "board") {
+      if (tokens.size() != 2) return fail(line_no, "board expects a name");
+      result.board.set_name(tokens[1]);
+    } else if (keyword == "banktype") {
+      if (in_type) return fail(line_no, "nested banktype (missing 'end'?)");
+      if (tokens.size() != 12) {
+        return fail(line_no,
+                    "banktype expects: name instances <I> ports <P> rl <RL> "
+                    "wl <WL> pins <T>");
+      }
+      current = BankType{};
+      current.name = tokens[1];
+      std::int64_t value = 0;
+      for (std::size_t k = 2; k + 1 < tokens.size(); k += 2) {
+        if (!parse_int(tokens[k + 1], value)) {
+          return fail(line_no, "bad integer '" + tokens[k + 1] + "'");
+        }
+        if (tokens[k] == "instances") {
+          current.instances = value;
+        } else if (tokens[k] == "ports") {
+          current.ports = value;
+        } else if (tokens[k] == "rl") {
+          current.read_latency = value;
+        } else if (tokens[k] == "wl") {
+          current.write_latency = value;
+        } else if (tokens[k] == "pins") {
+          current.pins_traversed = value;
+        } else {
+          return fail(line_no, "unknown banktype field '" + tokens[k] + "'");
+        }
+      }
+      in_type = true;
+    } else if (keyword == "config") {
+      if (!in_type) return fail(line_no, "config outside banktype");
+      if (tokens.size() != 3) return fail(line_no, "config expects depth width");
+      BankConfig config;
+      if (!parse_int(tokens[1], config.depth) ||
+          !parse_int(tokens[2], config.width)) {
+        return fail(line_no, "bad config dimensions");
+      }
+      current.configs.push_back(config);
+    } else if (keyword == "end") {
+      if (!in_type) return fail(line_no, "'end' without banktype");
+      const std::string problem = current.validate();
+      if (!problem.empty()) return fail(line_no, problem);
+      result.board.add_bank_type(current);
+      in_type = false;
+    } else {
+      return fail(line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+  if (in_type) return fail(line_no, "unterminated banktype at end of input");
+  result.ok = true;
+  return result;
+}
+
+BoardParseResult parse_board_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_board(in);
+}
+
+void write_board(std::ostream& out, const Board& board) {
+  out << "board " << (board.name().empty() ? "unnamed" : board.name())
+      << "\n";
+  for (const BankType& t : board.types()) {
+    out << "banktype " << t.name << " instances " << t.instances << " ports "
+        << t.ports << " rl " << t.read_latency << " wl " << t.write_latency
+        << " pins " << t.pins_traversed << "\n";
+    for (const BankConfig& c : t.configs) {
+      out << "config " << c.depth << " " << c.width << "\n";
+    }
+    out << "end\n";
+  }
+}
+
+std::string board_to_string(const Board& board) {
+  std::ostringstream out;
+  write_board(out, board);
+  return out.str();
+}
+
+}  // namespace gmm::arch

@@ -1,0 +1,39 @@
+// Plain-text serialization of board descriptions.
+//
+// Format (one directive per line, '#' comments):
+//
+//   board <name>
+//   banktype <name> instances <I> ports <P> rl <RL> wl <WL> pins <T>
+//   config <depth> <width>        # one per configuration, after banktype
+//   end                           # closes the current banktype
+//
+// Example:
+//   board demo
+//   banktype blockram instances 8 ports 2 rl 1 wl 1 pins 0
+//   config 4096 1
+//   config 256 16
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/board.hpp"
+
+namespace gmm::arch {
+
+struct BoardParseResult {
+  bool ok = false;
+  std::string error;  // message with line number when !ok
+  Board board;
+};
+
+/// Parse a board description from text.
+BoardParseResult parse_board(std::istream& in);
+BoardParseResult parse_board_string(const std::string& text);
+
+/// Serialize; round-trips through parse_board.
+void write_board(std::ostream& out, const Board& board);
+std::string board_to_string(const Board& board);
+
+}  // namespace gmm::arch

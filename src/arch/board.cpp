@@ -1,0 +1,39 @@
+#include "arch/board.hpp"
+
+#include "support/assert.hpp"
+
+namespace gmm::arch {
+
+void Board::add_bank_type(BankType type) {
+  const std::string problem = type.validate();
+  GMM_ASSERT(problem.empty(), problem.c_str());
+  types_.push_back(std::move(type));
+}
+
+std::int64_t Board::total_banks() const {
+  std::int64_t total = 0;
+  for (const BankType& t : types_) total += t.instances;
+  return total;
+}
+
+std::int64_t Board::total_ports() const {
+  std::int64_t total = 0;
+  for (const BankType& t : types_) total += t.total_ports();
+  return total;
+}
+
+std::int64_t Board::total_configs() const {
+  std::int64_t total = 0;
+  for (const BankType& t : types_) {
+    if (t.multi_config()) total += t.total_ports() * t.num_configs();
+  }
+  return total;
+}
+
+std::int64_t Board::total_bits() const {
+  std::int64_t total = 0;
+  for (const BankType& t : types_) total += t.total_bits();
+  return total;
+}
+
+}  // namespace gmm::arch

@@ -1,0 +1,46 @@
+// Reconfigurable board: a named collection of bank types.
+//
+// The paper's Table 3 characterizes boards by three complexity totals,
+// reproduced here as methods: total physical banks, total ports summed
+// over all instances, and total configuration settings summed over all
+// multi-configuration ports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/memory_bank.hpp"
+
+namespace gmm::arch {
+
+class Board {
+ public:
+  Board() = default;
+  explicit Board(std::string name) : name_(std::move(name)) {}
+
+  /// Add a bank type; aborts on invalid types (see BankType::validate).
+  void add_bank_type(BankType type);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t num_types() const { return types_.size(); }
+  [[nodiscard]] const BankType& type(std::size_t t) const { return types_[t]; }
+  [[nodiscard]] const std::vector<BankType>& types() const { return types_; }
+
+  /// Total number of physical banks (Table 3 column "#banks").
+  [[nodiscard]] std::int64_t total_banks() const;
+  /// Total ports over all instances of all types ("#ports").
+  [[nodiscard]] std::int64_t total_ports() const;
+  /// Total configuration settings over all multi-configuration ports
+  /// ("#configs"): sum of I_t * P_t * C_t for types with C_t > 1.
+  [[nodiscard]] std::int64_t total_configs() const;
+  /// Total storage capacity in bits.
+  [[nodiscard]] std::int64_t total_bits() const;
+
+ private:
+  std::string name_;
+  std::vector<BankType> types_;
+};
+
+}  // namespace gmm::arch

@@ -1,0 +1,141 @@
+#include "arch/device_catalog.hpp"
+
+#include "support/assert.hpp"
+
+namespace gmm::arch {
+
+namespace {
+
+std::vector<BankConfig> virtex_configs() {
+  return {{4096, 1}, {2048, 2}, {1024, 4}, {512, 8}, {256, 16}};
+}
+
+std::vector<BankConfig> altera_configs() {
+  return {{2048, 1}, {1024, 2}, {512, 4}, {256, 8}, {128, 16}};
+}
+
+std::vector<DeviceInfo> build_catalog() {
+  std::vector<DeviceInfo> catalog;
+  const auto add = [&catalog](const std::string& family,
+                              const std::string& device,
+                              const std::string& ram, std::int64_t banks,
+                              std::int64_t bits, std::int64_t ports,
+                              std::vector<BankConfig> configs) {
+    catalog.push_back(DeviceInfo{family, device, ram, banks, bits, ports,
+                                 std::move(configs)});
+  };
+
+  // Xilinx Virtex / Virtex-E: dual-ported 4096-bit BlockRAMs.
+  const std::string xv = "Xilinx Virtex";
+  for (const auto& [device, banks] :
+       std::initializer_list<std::pair<const char*, std::int64_t>>{
+           {"XCV50", 8},     {"XCV100", 10},   {"XCV150", 12},
+           {"XCV200", 14},   {"XCV300", 16},   {"XCV400", 20},
+           {"XCV600", 24},   {"XCV800", 28},   {"XCV1000", 32},
+           {"XCV400E", 40},  {"XCV600E", 72},  {"XCV1000E", 96},
+           {"XCV1600E", 144}, {"XCV2000E", 160}, {"XCV2600E", 184},
+           {"XCV3200E", 208}}) {
+    add(xv, device, "BlockRAM", banks, 4096, 2, virtex_configs());
+  }
+
+  // Altera FLEX 10K: single-ported 2048-bit EABs.
+  const std::string fl = "Altera Flex 10K";
+  for (const auto& [device, banks] :
+       std::initializer_list<std::pair<const char*, std::int64_t>>{
+           {"EPF10K70", 9},
+           {"EPF10K100", 12},
+           {"EPF10K130", 16},
+           {"EPF10K250A", 20}}) {
+    add(fl, device, "EAB", banks, 2048, 1, altera_configs());
+  }
+
+  // Altera APEX E: dual-ported 2048-bit ESBs.
+  const std::string ap = "Altera Apex E";
+  for (const auto& [device, banks] :
+       std::initializer_list<std::pair<const char*, std::int64_t>>{
+           {"EP20K30E", 12},   {"EP20K60E", 16},   {"EP20K100E", 26},
+           {"EP20K160E", 40},  {"EP20K200E", 52},  {"EP20K300E", 72},
+           {"EP20K400E", 104}, {"EP20K600E", 152}, {"EP20K1000E", 160},
+           {"EP20K1500E", 216}}) {
+    add(ap, device, "ESB", banks, 2048, 2, altera_configs());
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<DeviceInfo>& device_catalog() {
+  static const std::vector<DeviceInfo> catalog = build_catalog();
+  return catalog;
+}
+
+std::optional<DeviceInfo> find_device(const std::string& device) {
+  for (const DeviceInfo& d : device_catalog()) {
+    if (d.device == device) return d;
+  }
+  return std::nullopt;
+}
+
+BankType on_chip_bank_type(const DeviceInfo& device) {
+  BankType type;
+  type.name = device.device + "." + device.ram_name;
+  type.instances = device.ram_banks;
+  type.ports = device.ports;
+  type.configs = device.configs;
+  type.read_latency = 1;
+  type.write_latency = 1;
+  type.pins_traversed = 0;
+  GMM_ASSERT(type.validate().empty(), "catalog device fails validation");
+  return type;
+}
+
+BankType offchip_sram(std::int64_t instances, std::int64_t depth,
+                      std::int64_t width) {
+  BankType type;
+  type.name = "sram" + std::to_string(depth) + "x" + std::to_string(width);
+  type.instances = instances;
+  type.ports = 1;
+  type.configs = {{depth, width}};
+  type.read_latency = 2;
+  type.write_latency = 2;
+  type.pins_traversed = 2;
+  GMM_ASSERT(type.validate().empty(), "invalid off-chip SRAM parameters");
+  return type;
+}
+
+BankType offchip_bulk(std::int64_t instances, std::int64_t depth,
+                      std::int64_t width) {
+  BankType type;
+  type.name = "bulk" + std::to_string(depth) + "x" + std::to_string(width);
+  type.instances = instances;
+  type.ports = 1;
+  type.configs = {{depth, width}};
+  type.read_latency = 4;
+  type.write_latency = 3;
+  type.pins_traversed = 6;
+  GMM_ASSERT(type.validate().empty(), "invalid off-chip bulk parameters");
+  return type;
+}
+
+Board single_fpga_board(const std::string& device, int sram_banks) {
+  const std::optional<DeviceInfo> info = find_device(device);
+  GMM_ASSERT(info.has_value(), "unknown device name");
+  Board board("board." + device);
+  board.add_bank_type(on_chip_bank_type(*info));
+  if (sram_banks > 0) {
+    board.add_bank_type(offchip_sram(sram_banks, 32768, 32));
+  }
+  return board;
+}
+
+Board hierarchical_board(const std::string& device) {
+  const std::optional<DeviceInfo> info = find_device(device);
+  GMM_ASSERT(info.has_value(), "unknown device name");
+  Board board("hier." + device);
+  board.add_bank_type(on_chip_bank_type(*info));
+  board.add_bank_type(offchip_sram(4, 32768, 32));
+  board.add_bank_type(offchip_bulk(2, 1 << 20, 32));
+  return board;
+}
+
+}  // namespace gmm::arch

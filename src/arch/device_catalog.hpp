@@ -1,0 +1,69 @@
+// FPGA on-chip RAM catalog (paper Table 1) plus off-chip SRAM presets and
+// ready-made board descriptions.
+//
+// The three FPGA families the paper surveys:
+//   * Xilinx Virtex BlockRAM — 4096-bit dual-ported blocks, five
+//     configurations 4096x1 ... 256x16, 8 (XCV50) to 208 (XCV3200E) blocks;
+//   * Altera FLEX 10K Embedded Array Blocks — 2048-bit single-ported,
+//     2048x1 ... 128x16, 9 (EPF10K70) to 20 (EPF10K250A);
+//   * Altera APEX E Embedded System Blocks — 2048-bit dual-ported,
+//     2048x1 ... 128x16, 12 (EP20K30E) to 216 (EP20K1500E).
+//
+// Off-chip banks and latencies are modeling choices of this reproduction
+// (the paper fixes none): on-chip RAM reads/writes in 1 cycle across 0
+// pins; directly attached SRAM in 2 cycles across 2 pins; indirectly
+// attached DRAM-class memory in 4/3 cycles across 6 pins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/board.hpp"
+
+namespace gmm::arch {
+
+/// One device row of the catalog.
+struct DeviceInfo {
+  std::string family;     // "Xilinx Virtex", ...
+  std::string device;     // "XCV50", ...
+  std::string ram_name;   // "BlockRAM", "EAB", "ESB"
+  std::int64_t ram_banks; // number of on-chip RAM blocks
+  std::int64_t ram_bits;  // bits per block
+  std::int64_t ports;     // ports per block
+  std::vector<BankConfig> configs;
+};
+
+/// Every device in the catalog, grouped by family in Table-1 order.
+const std::vector<DeviceInfo>& device_catalog();
+
+/// Find a device by name ("XCV1000", "EPF10K70", "EP20K400E", ...).
+std::optional<DeviceInfo> find_device(const std::string& device);
+
+/// The on-chip RAM of `device` as a BankType.
+BankType on_chip_bank_type(const DeviceInfo& device);
+
+// ---- off-chip presets ----------------------------------------------------
+
+/// Directly attached synchronous SRAM: single-ported, fixed configuration,
+/// 2 pins traversed, 2-cycle read / 2-cycle write.
+BankType offchip_sram(std::int64_t instances, std::int64_t depth,
+                      std::int64_t width);
+
+/// Indirectly attached bulk memory: single-ported, fixed configuration,
+/// 6 pins traversed, 4-cycle read / 3-cycle write.
+BankType offchip_bulk(std::int64_t instances, std::int64_t depth,
+                      std::int64_t width);
+
+// ---- board presets ---------------------------------------------------------
+
+/// A single-FPGA RC board: the device's on-chip RAM plus `sram_banks`
+/// directly attached 32Kx32 SRAMs (the WildForce/WildStar style boards the
+/// group's prior work targeted).
+Board single_fpga_board(const std::string& device, int sram_banks = 4);
+
+/// A richer hierarchy for examples: on-chip RAM, direct SRAM, and a bulk
+/// indirect memory tier.
+Board hierarchical_board(const std::string& device);
+
+}  // namespace gmm::arch

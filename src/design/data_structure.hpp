@@ -1,0 +1,48 @@
+// Logical data structure model (paper Section 3.2).
+//
+// A data structure (the paper's "data segment") is an array of `depth`
+// words of `width` bits that scheduling has already formed.  The optional
+// access footprint (read/write counts) refines the latency cost; the
+// paper's default assumes one read and one write per word.  The optional
+// lifetime interval feeds conflict derivation (Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gmm::design {
+
+/// Half-open lifetime interval [start, end) in schedule steps.
+struct Lifetime {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] bool overlaps(const Lifetime& other) const {
+    return start < other.end && other.start < end;
+  }
+  friend bool operator==(const Lifetime&, const Lifetime&) = default;
+};
+
+struct DataStructure {
+  std::string name;
+  std::int64_t depth = 0;  // D_d: number of words
+  std::int64_t width = 0;  // W_d: bits per word
+  /// Access footprint; defaults (0) mean "unknown", in which case cost
+  /// models fall back to the paper's reads = writes = depth assumption.
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::optional<Lifetime> lifetime;
+
+  [[nodiscard]] std::int64_t bits() const { return depth * width; }
+  /// Effective read count for the latency cost.
+  [[nodiscard]] std::int64_t effective_reads() const {
+    return reads > 0 ? reads : depth;
+  }
+  /// Effective write count for the latency cost.
+  [[nodiscard]] std::int64_t effective_writes() const {
+    return writes > 0 ? writes : depth;
+  }
+};
+
+}  // namespace gmm::design

@@ -1,0 +1,56 @@
+#include "design/design.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace gmm::design {
+
+std::size_t Design::add(DataStructure ds) {
+  GMM_ASSERT(ds.depth > 0 && ds.width > 0,
+             "data structure dimensions must be positive");
+  structures_.push_back(std::move(ds));
+  return structures_.size() - 1;
+}
+
+void Design::add_conflict(std::size_t a, std::size_t b) {
+  GMM_ASSERT(a < size() && b < size() && a != b,
+             "conflict references unknown structures");
+  if (a > b) std::swap(a, b);
+  if (!conflicts(a, b)) pairs_.emplace_back(a, b);
+}
+
+void Design::set_all_conflicting() {
+  pairs_.clear();
+  for (std::size_t a = 0; a < size(); ++a) {
+    for (std::size_t b = a + 1; b < size(); ++b) pairs_.emplace_back(a, b);
+  }
+}
+
+void Design::derive_conflicts_from_lifetimes() {
+  pairs_.clear();
+  for (std::size_t a = 0; a < size(); ++a) {
+    for (std::size_t b = a + 1; b < size(); ++b) {
+      const auto& la = structures_[a].lifetime;
+      const auto& lb = structures_[b].lifetime;
+      // Unknown lifetimes conflict with everything (safe default).
+      if (!la.has_value() || !lb.has_value() || la->overlaps(*lb)) {
+        pairs_.emplace_back(a, b);
+      }
+    }
+  }
+}
+
+bool Design::conflicts(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  return std::find(pairs_.begin(), pairs_.end(), std::make_pair(a, b)) !=
+         pairs_.end();
+}
+
+std::int64_t Design::total_bits() const {
+  std::int64_t total = 0;
+  for (const DataStructure& ds : structures_) total += ds.bits();
+  return total;
+}
+
+}  // namespace gmm::design

@@ -1,0 +1,58 @@
+// A design: the set of data structures to map, plus the conflict relation
+// (pairs whose lifetimes overlap and therefore cannot share storage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "design/data_structure.hpp"
+
+namespace gmm::design {
+
+class Design {
+ public:
+  Design() = default;
+  explicit Design(std::string name) : name_(std::move(name)) {}
+
+  /// Add a structure; returns its index.
+  std::size_t add(DataStructure ds);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t size() const { return structures_.size(); }
+  [[nodiscard]] const DataStructure& at(std::size_t d) const {
+    return structures_[d];
+  }
+  [[nodiscard]] const std::vector<DataStructure>& structures() const {
+    return structures_;
+  }
+
+  /// Declare that structures a and b may NOT share storage.
+  void add_conflict(std::size_t a, std::size_t b);
+  /// Declare every pair conflicting (no storage overlap anywhere); this is
+  /// the conservative default the Table-3 experiments use.
+  void set_all_conflicting();
+  /// Derive the conflict set from the structures' lifetime intervals;
+  /// structures without a lifetime conflict with everything.
+  void derive_conflicts_from_lifetimes();
+
+  [[nodiscard]] bool conflicts(std::size_t a, std::size_t b) const;
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  conflict_pairs() const {
+    return pairs_;
+  }
+  [[nodiscard]] std::size_t num_conflicts() const { return pairs_.size(); }
+
+  /// Total bits over all structures.
+  [[nodiscard]] std::int64_t total_bits() const;
+
+ private:
+  std::string name_;
+  std::vector<DataStructure> structures_;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;  // a < b
+};
+
+}  // namespace gmm::design

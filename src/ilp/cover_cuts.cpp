@@ -1,0 +1,96 @@
+#include "ilp/cover_cuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gmm::ilp {
+
+namespace {
+
+struct Item {
+  lp::Index var;
+  double coef;
+  double value;  // x*_j
+};
+
+}  // namespace
+
+std::vector<CoverCut> separate_cover_cuts(const lp::Model& model,
+                                          const std::vector<double>& x,
+                                          std::size_t max_cuts,
+                                          double min_violation) {
+  std::vector<CoverCut> cuts;
+  std::vector<Item> items;
+
+  for (lp::Index i = 0; i < model.num_rows() && cuts.size() < max_cuts;
+       ++i) {
+    const double b = model.row_ub(i);
+    if (!(b < lp::kInf) || model.row_lb(i) > -lp::kInf) continue;  // <= only
+    const lp::Model::RowView row = model.row(i);
+    if (row.size < 2) continue;
+
+    items.clear();
+    bool knapsack = true;
+    for (std::size_t k = 0; k < row.size; ++k) {
+      const lp::Index j = row.vars[k];
+      if (row.coefs[k] <= 0 ||
+          model.var_type(j) != lp::VarType::kBinary) {
+        knapsack = false;
+        break;
+      }
+      items.push_back({j, row.coefs[k], x[j]});
+    }
+    if (!knapsack || b <= 0) continue;
+
+    // Greedy cover: take items by decreasing fractional value until the
+    // weights exceed b.  Items at (near) zero can never help a cover's
+    // violation, so stop considering them.
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b2) {
+      return a.value > b2.value;
+    });
+    double weight = 0.0;
+    std::size_t cover_end = 0;
+    while (cover_end < items.size() && weight <= b) {
+      weight += items[cover_end].coef;
+      ++cover_end;
+    }
+    if (weight <= b) continue;  // the whole row cannot cover
+
+    // Minimalize: drop members whose removal keeps it a cover, preferring
+    // to drop low-value members (they contribute least to violation).
+    std::vector<Item> cover(items.begin(),
+                            items.begin() + static_cast<std::ptrdiff_t>(cover_end));
+    for (std::size_t k = cover.size(); k-- > 0;) {
+      if (weight - cover[k].coef > b) {
+        weight -= cover[k].coef;
+        cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+    }
+
+    // Violation check: sum x* > |C| - 1 ?
+    double activity = 0.0;
+    for (const Item& item : cover) activity += item.value;
+    const double rhs = static_cast<double>(cover.size()) - 1.0;
+    if (activity <= rhs + min_violation) continue;
+
+    // Extend: any non-cover variable with coefficient >= the cover's max
+    // can join the left-hand side without weakening validity.
+    double max_coef = 0.0;
+    for (const Item& item : cover) max_coef = std::max(max_coef, item.coef);
+    CoverCut cut;
+    for (const Item& item : cover) cut.vars.push_back(item.var);
+    for (const Item& item : items) {
+      const bool in_cover =
+          std::any_of(cover.begin(), cover.end(), [&item](const Item& c) {
+            return c.var == item.var;
+          });
+      if (!in_cover && item.coef >= max_coef) cut.vars.push_back(item.var);
+    }
+    cut.rhs = rhs;
+    cuts.push_back(std::move(cut));
+  }
+  return cuts;
+}
+
+}  // namespace gmm::ilp

@@ -1,0 +1,462 @@
+#include "ilp/mip_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "ilp/cover_cuts.hpp"
+#include "lp/presolve.hpp"
+#include "lp/standard_form.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace gmm::ilp {
+
+namespace {
+
+using lp::Index;
+using lp::kInf;
+using lp::kIntTol;
+using lp::SolveStatus;
+
+/// One branching decision relative to the parent node.
+struct BoundChange {
+  Index var = lp::kInvalidIndex;
+  double lb = 0.0, ub = 0.0;
+};
+
+/// Immutable node payload; children share their ancestors through the
+/// parent chain, so a node costs O(1) memory regardless of depth.
+struct NodeData {
+  std::shared_ptr<const NodeData> parent;
+  BoundChange change;
+  int depth = 0;
+};
+
+struct OpenNode {
+  double bound = -kInf;  // parent LP objective: a valid lower bound
+  std::uint64_t seq = 0;  // FIFO tie-break keeps the search deterministic
+  std::shared_ptr<const NodeData> data;
+};
+
+struct BestFirstOrder {
+  bool operator()(const OpenNode& a, const OpenNode& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;  // min-heap on bound
+    return a.seq > b.seq;
+  }
+};
+
+/// Per-variable pseudocost statistics for branching-variable selection.
+struct Pseudocost {
+  double up_sum = 0.0, down_sum = 0.0;
+  int up_count = 0, down_count = 0;
+};
+
+class Search {
+ public:
+  Search(const lp::Model& original, const MipOptions& options)
+      : original_(original), options_(options) {}
+
+  MipResult run();
+
+ private:
+  // -- helpers ---------------------------------------------------------
+  void apply_path(const NodeData* node);
+  [[nodiscard]] Index pick_branch_var(const std::vector<double>& x) const;
+  void try_incumbent_from_reduced(const std::vector<double>& reduced_x);
+  void try_incumbent_original(const std::vector<double>& orig_x);
+  void run_rounding_heuristic(const std::vector<double>& reduced_x);
+  void run_user_heuristic(const std::vector<double>& reduced_x);
+  [[nodiscard]] double prune_threshold() const;
+  [[nodiscard]] bool limits_hit();
+  /// Solve the engine's current LP; returns the simplex status.
+  SolveStatus solve_node_lp();
+  /// Process one node: solve, prune/bound/branch; dives depth-first.
+  void dive(std::shared_ptr<const NodeData> node);
+
+  const lp::Model& original_;
+  MipOptions options_;
+
+  lp::PresolveResult pre_;
+  lp::Model working_;  // presolved model plus any root cover cuts
+  const lp::Model* reduced_ = nullptr;
+  std::unique_ptr<lp::StandardForm> sf_;
+  std::unique_ptr<lp::SimplexEngine> engine_;
+  std::vector<Index> int_cols_;
+  std::vector<Pseudocost> pcost_;  // indexed by reduced column
+
+  std::priority_queue<OpenNode, std::vector<OpenNode>, BestFirstOrder> open_;
+  std::uint64_t next_seq_ = 0;
+
+  // Incumbent is kept in ORIGINAL variable space with TOTAL objective.
+  double incumbent_obj_ = kInf;
+  std::vector<double> incumbent_x_;
+
+  support::WallTimer timer_;
+  MipResult result_;
+  bool stop_ = false;
+  SolveStatus stop_status_ = SolveStatus::kOptimal;
+};
+
+double Search::prune_threshold() const {
+  const double slack = std::max(options_.abs_gap,
+                                options_.rel_gap * std::abs(incumbent_obj_));
+  return incumbent_obj_ - slack;
+}
+
+bool Search::limits_hit() {
+  if (stop_) return true;
+  if (timer_.seconds() > options_.time_limit_seconds) {
+    stop_ = true;
+    stop_status_ = SolveStatus::kTimeLimit;
+  } else if (result_.nodes >= options_.node_limit) {
+    stop_ = true;
+    stop_status_ = SolveStatus::kNodeLimit;
+  }
+  return stop_;
+}
+
+void Search::apply_path(const NodeData* node) {
+  engine_->reset_bounds();
+  // Collect root->leaf order; later changes on the same variable must win.
+  std::vector<const NodeData*> chain;
+  for (const NodeData* p = node; p != nullptr; p = p->parent.get()) {
+    chain.push_back(p);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const BoundChange& c = (*it)->change;
+    if (c.var != lp::kInvalidIndex) {
+      engine_->set_column_bounds(c.var, c.lb, c.ub);
+    }
+  }
+  engine_->refresh_basic_solution();
+}
+
+Index Search::pick_branch_var(const std::vector<double>& x) const {
+  // Two tiers: fractional variables that CARRY OBJECTIVE are branched
+  // before zero-cost ones.  Zero-cost integers (e.g. the symmetric
+  // placement counts of the complete memory-mapping formulation) cannot
+  // move the bound, so resolving the cost-bearing decisions first lets
+  // the primal heuristics close the remaining feasibility plateau.
+  // Within a tier: pseudocost score with most-fractional fallback,
+  // score = (1-mu)*min(up,down) + mu*max(up,down).
+  constexpr double kMu = 1.0 / 6.0;
+  Index best = lp::kInvalidIndex;
+  double best_score = -1.0;
+  bool best_has_cost = false;
+  for (const Index j : int_cols_) {
+    const double frac = x[j] - std::floor(x[j]);
+    if (frac < kIntTol || frac > 1.0 - kIntTol) continue;
+    const bool has_cost = reduced_->obj(j) != 0.0;
+    if (best_has_cost && !has_cost) continue;
+    const Pseudocost& pc = pcost_[j];
+    double score;
+    if (pc.up_count > 0 && pc.down_count > 0) {
+      const double up = pc.up_sum / pc.up_count * (1.0 - frac);
+      const double down = pc.down_sum / pc.down_count * frac;
+      score = (1.0 - kMu) * std::min(up, down) + kMu * std::max(up, down);
+    } else {
+      // Fractionality: 0.5 is the most undecided and scores highest.
+      score = 0.5 - std::abs(frac - 0.5);
+    }
+    if ((has_cost && !best_has_cost) || score > best_score) {
+      best_score = score;
+      best = j;
+      best_has_cost = has_cost;
+    }
+  }
+  return best;
+}
+
+void Search::try_incumbent_original(const std::vector<double>& orig_x) {
+  if (!original_.is_feasible(orig_x, 1e-5)) return;
+  // Snap integers exactly before evaluating.
+  std::vector<double> snapped(orig_x);
+  for (Index j = 0; j < original_.num_vars(); ++j) {
+    if (original_.var_type(j) != lp::VarType::kContinuous) {
+      snapped[j] = std::round(snapped[j]);
+    }
+  }
+  const double obj = original_.objective_value(snapped);
+  if (obj < incumbent_obj_) {
+    incumbent_obj_ = obj;
+    incumbent_x_ = std::move(snapped);
+    GMM_LOG(kDebug) << "mip: new incumbent " << obj << " at node "
+                    << result_.nodes;
+  }
+}
+
+void Search::try_incumbent_from_reduced(const std::vector<double>& reduced_x) {
+  try_incumbent_original(lp::postsolve(pre_, reduced_x));
+}
+
+void Search::run_rounding_heuristic(const std::vector<double>& reduced_x) {
+  std::vector<double> rounded(reduced_x);
+  for (const Index j : int_cols_) rounded[j] = std::round(rounded[j]);
+  if (reduced_->is_feasible(rounded, 1e-6)) {
+    try_incumbent_from_reduced(rounded);
+  }
+}
+
+void Search::run_user_heuristic(const std::vector<double>& reduced_x) {
+  if (!options_.primal_heuristic) return;
+  const auto candidate =
+      options_.primal_heuristic(lp::postsolve(pre_, reduced_x));
+  if (candidate.has_value()) try_incumbent_original(*candidate);
+}
+
+SolveStatus Search::solve_node_lp() {
+  lp::SimplexOptions simplex = options_.simplex;
+  if (options_.time_limit_seconds < kInf) {
+    simplex.time_limit_seconds =
+        std::max(0.0, options_.time_limit_seconds - timer_.seconds());
+  }
+  const std::int64_t before = engine_->stats().iterations;
+  SolveStatus status = engine_->solve(simplex);
+  if (status == SolveStatus::kNumericalFailure ||
+      status == SolveStatus::kIterationLimit) {
+    // Cold restart once; the all-logical basis is always dual feasible.
+    GMM_LOG(kWarn) << "mip: node LP " << to_string(status)
+                   << ", retrying from a cold basis";
+    engine_->reset_to_logical_basis();
+    status = engine_->solve(simplex);
+  }
+  result_.lp_iterations += engine_->stats().iterations - before;
+  return status;
+}
+
+void Search::dive(std::shared_ptr<const NodeData> node) {
+  // Entry contract: bounds + basic solution reflect `node`; LP not yet
+  // solved.  Each loop iteration processes one node and either prunes
+  // (return) or pushes one child to the heap and follows the other.
+  //
+  // The pending_* locals carry the previous iteration's branching decision
+  // so the followed child's LP objective can feed the pseudocosts.
+  Index pending_var = lp::kInvalidIndex;
+  bool pending_up = false;
+  double pending_frac = 0.0;
+  double pending_parent_obj = 0.0;
+
+  while (true) {
+    if (limits_hit()) return;
+    ++result_.nodes;
+
+    const SolveStatus lp_status = solve_node_lp();
+    if (lp_status == SolveStatus::kInfeasible) return;  // pruned
+    if (lp_status == SolveStatus::kTimeLimit) {
+      stop_ = true;
+      stop_status_ = SolveStatus::kTimeLimit;
+      return;
+    }
+    if (lp_status != SolveStatus::kOptimal) {
+      stop_ = true;
+      stop_status_ = SolveStatus::kNumericalFailure;
+      GMM_LOG(kError) << "mip: unrecoverable node LP status "
+                      << to_string(lp_status);
+      return;
+    }
+
+    const double node_bound =
+        engine_->objective_value() + pre_.objective_offset;
+
+    if (pending_var != lp::kInvalidIndex) {
+      const double degradation =
+          std::max(0.0, node_bound - pending_parent_obj);
+      Pseudocost& pc = pcost_[pending_var];
+      if (pending_up) {
+        pc.up_sum += degradation / std::max(kIntTol, 1.0 - pending_frac);
+        ++pc.up_count;
+      } else {
+        pc.down_sum += degradation / std::max(kIntTol, pending_frac);
+        ++pc.down_count;
+      }
+      pending_var = lp::kInvalidIndex;
+    }
+
+    if (node_bound >= prune_threshold()) return;  // bound-pruned
+
+    const std::vector<double> x = engine_->structural_solution();
+    const Index branch_var = pick_branch_var(x);
+    if (branch_var == lp::kInvalidIndex) {
+      // Integral: candidate incumbent.
+      try_incumbent_from_reduced(x);
+      return;
+    }
+
+    if (options_.primal_heuristic &&
+        result_.nodes %
+                std::max<std::int64_t>(1, options_.heuristic_period) ==
+            1) {
+      run_user_heuristic(x);
+    } else if (result_.nodes % 64 == 1) {
+      run_rounding_heuristic(x);
+    }
+
+    const double value = x[branch_var];
+    const double frac = value - std::floor(value);
+    const double floor_v = std::floor(value);
+    // Follow the nearer side first (plunge toward integrality), push the
+    // other side for best-first processing later.
+    const bool up_first = frac > 0.5;
+
+    const BoundChange up{branch_var, floor_v + 1.0,
+                         engine_->column_ub(branch_var)};
+    const BoundChange down{branch_var, engine_->column_lb(branch_var),
+                           floor_v};
+    const BoundChange& follow = up_first ? up : down;
+    const BoundChange& defer = up_first ? down : up;
+
+    auto follow_data = std::make_shared<NodeData>();
+    follow_data->parent = node;
+    follow_data->change = follow;
+    follow_data->depth = node ? node->depth + 1 : 1;
+    auto defer_data = std::make_shared<NodeData>();
+    defer_data->parent = node;
+    defer_data->change = defer;
+    defer_data->depth = follow_data->depth;
+
+    open_.push(OpenNode{node_bound, next_seq_++, std::move(defer_data)});
+
+    engine_->set_column_bounds(branch_var, follow.lb, follow.ub);
+    engine_->refresh_basic_solution();
+
+    pending_var = branch_var;
+    pending_up = up_first;
+    pending_frac = frac;
+    pending_parent_obj = node_bound;
+    node = std::move(follow_data);
+  }
+}
+
+MipResult Search::run() {
+  timer_.reset();
+
+  // ---- presolve --------------------------------------------------------
+  if (options_.use_presolve) {
+    pre_ = lp::presolve(original_);
+  } else {
+    // Identity presolve: copy the model through untouched.
+    pre_.reduced = original_;
+    pre_.var_map.resize(original_.num_vars());
+    pre_.fixed_value.assign(original_.num_vars(), 0.0);
+    for (Index j = 0; j < original_.num_vars(); ++j) pre_.var_map[j] = j;
+  }
+  if (pre_.infeasible) {
+    result_.status = SolveStatus::kInfeasible;
+    result_.seconds = timer_.seconds();
+    return result_;
+  }
+  working_ = pre_.reduced;
+  reduced_ = &working_;
+  if (reduced_->num_vars() == 0) {
+    std::vector<double> x = lp::postsolve(pre_, {});
+    try_incumbent_original(x);
+    result_.status = incumbent_x_.empty() ? SolveStatus::kInfeasible
+                                          : SolveStatus::kOptimal;
+    result_.objective = incumbent_obj_;
+    result_.best_bound = incumbent_obj_;
+    result_.x = std::move(incumbent_x_);
+    result_.seconds = timer_.seconds();
+    return result_;
+  }
+
+  for (Index j = 0; j < reduced_->num_vars(); ++j) {
+    if (reduced_->var_type(j) != lp::VarType::kContinuous) {
+      int_cols_.push_back(j);
+    }
+  }
+  pcost_.assign(reduced_->num_vars(), Pseudocost{});
+
+  sf_ = std::make_unique<lp::StandardForm>(
+      lp::StandardForm::build(*reduced_));
+  engine_ = std::make_unique<lp::SimplexEngine>(*sf_);
+
+  // ---- root cutting planes ----------------------------------------------
+  // Separate knapsack cover cuts on the root LP, rebuild, repeat.  Each
+  // round pays a model rebuild + cold solve, which the bound improvement
+  // repays many times over on the mapping formulations.
+  for (int round = 0; round < options_.max_cut_rounds; ++round) {
+    if (limits_hit()) break;
+    lp::SimplexOptions simplex = options_.simplex;
+    if (options_.time_limit_seconds < kInf) {
+      simplex.time_limit_seconds =
+          std::max(0.0, options_.time_limit_seconds - timer_.seconds());
+    }
+    const std::int64_t before = engine_->stats().iterations;
+    const SolveStatus root_status = engine_->solve(simplex);
+    result_.lp_iterations += engine_->stats().iterations - before;
+    if (root_status != SolveStatus::kOptimal) break;
+    const std::vector<double> x = engine_->structural_solution();
+    const std::vector<CoverCut> cuts = separate_cover_cuts(working_, x);
+    if (cuts.empty()) break;
+    for (const CoverCut& cut : cuts) {
+      lp::LinExpr expr;
+      for (const Index var : cut.vars) expr.add(var, 1.0);
+      working_.add_row(expr, -kInf, cut.rhs);
+    }
+    result_.cover_cuts += static_cast<std::int64_t>(cuts.size());
+    sf_ = std::make_unique<lp::StandardForm>(lp::StandardForm::build(working_));
+    engine_ = std::make_unique<lp::SimplexEngine>(*sf_);
+  }
+
+  // ---- root ------------------------------------------------------------
+  open_.push(OpenNode{-kInf, next_seq_++, nullptr});
+
+  // ---- main loop ---------------------------------------------------------
+  double heap_best_bound = -kInf;
+  while (!open_.empty() && !limits_hit()) {
+    OpenNode top = open_.top();
+    open_.pop();
+    if (top.bound >= prune_threshold()) continue;  // pruned while queued
+    heap_best_bound = top.bound;
+    apply_path(top.data.get());
+    dive(std::move(top.data));
+  }
+
+  // ---- wrap up -----------------------------------------------------------
+  result_.simplex_refactorizations = engine_->stats().refactorizations;
+  result_.seconds = timer_.seconds();
+  result_.objective = incumbent_obj_;
+  result_.x = std::move(incumbent_x_);
+  if (stop_) {
+    // Remaining open nodes bound the optimum from below.
+    double bound = heap_best_bound;
+    if (!open_.empty()) bound = std::min(bound, open_.top().bound);
+    result_.best_bound = result_.x.empty() ? bound : std::min(bound, incumbent_obj_);
+    result_.status = result_.x.empty() ? stop_status_ : SolveStatus::kFeasible;
+    if (stop_status_ == SolveStatus::kNumericalFailure) {
+      result_.status = SolveStatus::kNumericalFailure;
+    }
+  } else if (result_.x.empty()) {
+    result_.status = SolveStatus::kInfeasible;
+    result_.best_bound = kInf;
+  } else {
+    result_.status = SolveStatus::kOptimal;
+    result_.best_bound = incumbent_obj_;
+  }
+  return result_;
+}
+
+}  // namespace
+
+double MipResult::gap() const {
+  if (!has_incumbent()) return lp::kInf;
+  if (objective == best_bound) return 0.0;
+  return (objective - best_bound) / std::max(1e-9, std::abs(objective));
+}
+
+MipSolver::MipSolver(MipOptions options) : options_(std::move(options)) {}
+
+MipResult MipSolver::solve(const lp::Model& model) {
+  Search search(model, options_);
+  return search.run();
+}
+
+MipResult solve_mip(const lp::Model& model, const MipOptions& options) {
+  MipSolver solver(options);
+  return solver.solve(model);
+}
+
+}  // namespace gmm::ilp

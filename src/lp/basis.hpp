@@ -1,0 +1,30 @@
+// Simplex basis snapshot, shared between the LP engine and branch & bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/types.hpp"
+
+namespace gmm::lp {
+
+/// Status of a column in the current basis.
+enum class VStat : std::uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kFixed,  // lb == ub; value is that bound, never enters the basis
+  kFree,   // both bounds infinite; nonbasic at value 0
+};
+
+/// A restorable basis: which column is basic in each row, plus the
+/// nonbasic status of every column.  ~(4m + n) bytes; branch & bound
+/// snapshots one per open node to warm-start the dual simplex.
+struct Basis {
+  std::vector<Index> basic_in_row;  // size m
+  std::vector<VStat> status;        // size n_total
+
+  [[nodiscard]] bool empty() const { return basic_in_row.empty(); }
+};
+
+}  // namespace gmm::lp

@@ -1,0 +1,606 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace gmm::lp {
+
+namespace {
+
+/// Harris ratio-test slack: candidates within this of the best ratio are
+/// considered ties, and the largest |pivot| among them wins.
+constexpr double kHarrisSlack = 1e-7;
+
+bool is_nonbasic(VStat s) { return s != VStat::kBasic; }
+
+}  // namespace
+
+SimplexEngine::SimplexEngine(const StandardForm& sf)
+    : sf_(sf), m_(sf.num_rows), n_(sf.num_cols()) {
+  lb_ = sf_.lb;
+  ub_ = sf_.ub;
+  basis_.resize(m_);
+  stat_.resize(n_);
+  binv_.resize(static_cast<std::size_t>(m_) * m_);
+  xb_.resize(m_);
+  d_.resize(n_);
+  alpha_.resize(n_);
+  w_.resize(m_);
+  reset_to_logical_basis();
+}
+
+void SimplexEngine::set_column_bounds(Index j, double lb, double ub) {
+  GMM_ASSERT(!(lb > ub), "set_column_bounds with lb > ub");
+  lb_[j] = lb;
+  ub_[j] = ub;
+  if (stat_[j] == VStat::kBasic) return;
+  // Re-derive a nonbasic status that keeps the basis DUAL feasible, so a
+  // branch-and-bound node restored under a different bound path can
+  // warm-start the dual simplex from whatever basis the engine holds.
+  // With both bounds finite the reduced-cost sign picks the side
+  // (d >= 0 wants the lower bound, d < 0 the upper); with one bound the
+  // status is forced.  d_ is maintained across every pivot for ALL
+  // nonbasic columns, fixed ones included, precisely so this is valid.
+  if (lb == ub) {
+    stat_[j] = VStat::kFixed;
+  } else if (lb > -kInf && ub < kInf) {
+    stat_[j] = d_[j] >= 0.0 ? VStat::kAtLower : VStat::kAtUpper;
+  } else if (lb > -kInf) {
+    stat_[j] = VStat::kAtLower;
+  } else if (ub < kInf) {
+    stat_[j] = VStat::kAtUpper;
+  } else {
+    stat_[j] = VStat::kFree;
+  }
+}
+
+void SimplexEngine::reset_bounds() {
+  for (Index j = 0; j < n_; ++j) {
+    if (stat_[j] == VStat::kBasic) {
+      lb_[j] = sf_.lb[j];
+      ub_[j] = sf_.ub[j];
+    } else {
+      set_column_bounds(j, sf_.lb[j], sf_.ub[j]);
+    }
+  }
+}
+
+double SimplexEngine::nonbasic_value(Index j) const {
+  switch (stat_[j]) {
+    case VStat::kAtLower:
+    case VStat::kFixed:
+      return lb_[j];
+    case VStat::kAtUpper:
+      return ub_[j];
+    case VStat::kFree:
+      return 0.0;
+    case VStat::kBasic:
+      break;
+  }
+  GMM_ASSERT(false, "nonbasic_value called on basic column");
+  return 0.0;
+}
+
+void SimplexEngine::reset_to_logical_basis() {
+  for (Index i = 0; i < m_; ++i) basis_[i] = sf_.num_structural + i;
+  for (Index j = 0; j < n_; ++j) {
+    if (sf_.is_logical(j)) {
+      stat_[j] = VStat::kBasic;
+      continue;
+    }
+    if (lb_[j] == ub_[j]) {
+      stat_[j] = VStat::kFixed;
+    } else if (sf_.cost[j] > kDualTol) {
+      GMM_ASSERT(lb_[j] > -kInf,
+                 "dual simplex start requires a finite lower bound on every "
+                 "positive-cost variable");
+      stat_[j] = VStat::kAtLower;
+    } else if (sf_.cost[j] < -kDualTol) {
+      GMM_ASSERT(ub_[j] < kInf,
+                 "dual simplex start requires a finite upper bound on every "
+                 "negative-cost variable");
+      stat_[j] = VStat::kAtUpper;
+    } else if (lb_[j] > -kInf) {
+      stat_[j] = VStat::kAtLower;
+    } else if (ub_[j] < kInf) {
+      stat_[j] = VStat::kAtUpper;
+    } else {
+      stat_[j] = VStat::kFree;
+    }
+  }
+  // B = I for the all-logical basis.
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (Index i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+  pivots_since_refactor_ = 0;
+  refresh_basic_solution();
+  compute_duals();
+}
+
+void SimplexEngine::load_basis(const Basis& basis) {
+  GMM_ASSERT(basis.basic_in_row.size() == static_cast<std::size_t>(m_) &&
+                 basis.status.size() == static_cast<std::size_t>(n_),
+             "basis snapshot does not match this standard form");
+  basis_ = basis.basic_in_row;
+  stat_ = basis.status;
+  // Normalize nonbasic statuses against the working bounds: keep the
+  // snapshot's status whenever the bound it references still exists.
+  for (Index j = 0; j < n_; ++j) {
+    switch (stat_[j]) {
+      case VStat::kBasic:
+        break;
+      case VStat::kFixed:
+        if (lb_[j] != ub_[j]) {
+          stat_[j] = lb_[j] > -kInf ? VStat::kAtLower : VStat::kAtUpper;
+        }
+        break;
+      case VStat::kAtLower:
+        if (lb_[j] == ub_[j]) {
+          stat_[j] = VStat::kFixed;
+        } else if (lb_[j] <= -kInf) {
+          stat_[j] = ub_[j] < kInf ? VStat::kAtUpper : VStat::kFree;
+        }
+        break;
+      case VStat::kAtUpper:
+        if (lb_[j] == ub_[j]) {
+          stat_[j] = VStat::kFixed;
+        } else if (ub_[j] >= kInf) {
+          stat_[j] = lb_[j] > -kInf ? VStat::kAtLower : VStat::kFree;
+        }
+        break;
+      case VStat::kFree:
+        if (lb_[j] > -kInf || ub_[j] < kInf) {
+          stat_[j] = lb_[j] > -kInf ? VStat::kAtLower : VStat::kAtUpper;
+        }
+        break;
+    }
+  }
+  refactorize();
+  refresh_basic_solution();
+  compute_duals();
+}
+
+Basis SimplexEngine::snapshot_basis() const { return Basis{basis_, stat_}; }
+
+void SimplexEngine::refresh_basic_solution() {
+  // x_B = -B^{-1} * sum_j(A_j * value_j) over nonbasic columns with
+  // nonzero value.
+  std::vector<double> rhs(m_, 0.0);
+  for (Index j = 0; j < n_; ++j) {
+    if (!is_nonbasic(stat_[j])) continue;
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    if (sf_.is_logical(j)) {
+      rhs[sf_.logical_row(j)] += v;
+    } else {
+      for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+        rhs[sf_.row_index[k]] += sf_.value[k] * v;
+      }
+    }
+  }
+  for (Index i = 0; i < m_; ++i) {
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    double acc = 0.0;
+    for (Index k = 0; k < m_; ++k) acc += row[k] * rhs[k];
+    xb_[i] = -acc;
+  }
+}
+
+void SimplexEngine::ftran(Index j, std::vector<double>& w) const {
+  std::fill(w.begin(), w.end(), 0.0);
+  if (sf_.is_logical(j)) {
+    const Index r = sf_.logical_row(j);
+    for (Index i = 0; i < m_; ++i) {
+      w[i] = binv_[static_cast<std::size_t>(i) * m_ + r];
+    }
+    return;
+  }
+  for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+    const Index row = sf_.row_index[k];
+    const double v = sf_.value[k];
+    for (Index i = 0; i < m_; ++i) {
+      w[i] += v * binv_[static_cast<std::size_t>(i) * m_ + row];
+    }
+  }
+}
+
+double SimplexEngine::column_dot(const double* rho, Index j) const {
+  if (sf_.is_logical(j)) return rho[sf_.logical_row(j)];
+  double acc = 0.0;
+  for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+    acc += rho[sf_.row_index[k]] * sf_.value[k];
+  }
+  return acc;
+}
+
+void SimplexEngine::refactorize() {
+  ++stats_.refactorizations;
+  pivots_since_refactor_ = 0;
+  const std::size_t mm = static_cast<std::size_t>(m_) * m_;
+  work_b_.assign(mm, 0.0);
+  // Assemble B column-by-column into a dense row-major matrix.
+  for (Index col = 0; col < m_; ++col) {
+    const Index j = basis_[col];
+    if (sf_.is_logical(j)) {
+      work_b_[static_cast<std::size_t>(sf_.logical_row(j)) * m_ + col] = 1.0;
+    } else {
+      for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+        work_b_[static_cast<std::size_t>(sf_.row_index[k]) * m_ + col] =
+            sf_.value[k];
+      }
+    }
+  }
+  // Gauss-Jordan on [B | I] with partial pivoting; binv_ holds the right
+  // half.  On a (near-)singular column, repair the basis: evict that basic
+  // column and substitute the logical of a still-unpivoted ORIGINAL row
+  // (tracked through the swaps), which is guaranteed independent of the
+  // already-processed columns — so each repair makes strict progress and
+  // at most m restarts terminate.  Repair is rare; correctness matters
+  // more than the restart cost.
+  for (int attempt = 0; attempt < 1 + m_; ++attempt) {
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (Index i = 0; i < m_; ++i) {
+      binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    }
+    std::vector<double> lhs(work_b_);
+    std::vector<Index> row_origin(m_);
+    for (Index i = 0; i < m_; ++i) row_origin[i] = i;
+    bool repaired = false;
+    for (Index col = 0; col < m_ && !repaired; ++col) {
+      // Partial pivot: largest |entry| in column `col` at rows >= col.
+      Index piv_row = -1;
+      double piv_mag = 1e-10;
+      for (Index i = col; i < m_; ++i) {
+        const double mag = std::abs(lhs[static_cast<std::size_t>(i) * m_ + col]);
+        if (mag > piv_mag) {
+          piv_mag = mag;
+          piv_row = i;
+        }
+      }
+      if (piv_row < 0) {
+        // Dependent basis column: kick it out in favor of the logical of
+        // an unpivoted original row that is not already basic.
+        const Index evicted = basis_[col];
+        Index replacement = kInvalidIndex;
+        for (Index p = col; p < m_ && replacement == kInvalidIndex; ++p) {
+          const Index logical = sf_.num_structural + row_origin[p];
+          if (logical == evicted) continue;
+          bool already = false;
+          for (Index c = 0; c < m_; ++c) {
+            if (basis_[c] == logical) {
+              already = true;
+              break;
+            }
+          }
+          if (!already) replacement = logical;
+        }
+        GMM_ASSERT(replacement != kInvalidIndex,
+                   "basis repair failed to find a free logical column");
+        stat_[evicted] = lb_[evicted] > -kInf ? VStat::kAtLower
+                         : ub_[evicted] < kInf ? VStat::kAtUpper
+                                               : VStat::kFree;
+        if (lb_[evicted] == ub_[evicted]) stat_[evicted] = VStat::kFixed;
+        basis_[col] = replacement;
+        stat_[replacement] = VStat::kBasic;
+        // Rebuild the dense B with the repaired basis and restart.
+        std::fill(work_b_.begin(), work_b_.end(), 0.0);
+        for (Index c = 0; c < m_; ++c) {
+          const Index jj = basis_[c];
+          if (sf_.is_logical(jj)) {
+            work_b_[static_cast<std::size_t>(sf_.logical_row(jj)) * m_ + c] =
+                1.0;
+          } else {
+            for (std::size_t k = sf_.col_start[jj]; k < sf_.col_start[jj + 1];
+                 ++k) {
+              work_b_[static_cast<std::size_t>(sf_.row_index[k]) * m_ + c] =
+                  sf_.value[k];
+            }
+          }
+        }
+        repaired = true;
+        break;
+      }
+      if (piv_row != col) {
+        // Swap rows in both halves.
+        std::swap(row_origin[piv_row], row_origin[col]);
+        for (Index k = 0; k < m_; ++k) {
+          std::swap(lhs[static_cast<std::size_t>(piv_row) * m_ + k],
+                    lhs[static_cast<std::size_t>(col) * m_ + k]);
+          std::swap(binv_[static_cast<std::size_t>(piv_row) * m_ + k],
+                    binv_[static_cast<std::size_t>(col) * m_ + k]);
+        }
+      }
+      // Normalize the pivot row.
+      const double piv = lhs[static_cast<std::size_t>(col) * m_ + col];
+      const double inv_piv = 1.0 / piv;
+      double* lhs_piv_row = lhs.data() + static_cast<std::size_t>(col) * m_;
+      double* inv_piv_row = binv_.data() + static_cast<std::size_t>(col) * m_;
+      for (Index k = 0; k < m_; ++k) {
+        lhs_piv_row[k] *= inv_piv;
+        inv_piv_row[k] *= inv_piv;
+      }
+      // Eliminate the column everywhere else.
+      for (Index i = 0; i < m_; ++i) {
+        if (i == col) continue;
+        const double f = lhs[static_cast<std::size_t>(i) * m_ + col];
+        if (f == 0.0) continue;
+        double* lhs_row = lhs.data() + static_cast<std::size_t>(i) * m_;
+        double* inv_row = binv_.data() + static_cast<std::size_t>(i) * m_;
+        for (Index k = 0; k < m_; ++k) {
+          lhs_row[k] -= f * lhs_piv_row[k];
+          inv_row[k] -= f * inv_piv_row[k];
+        }
+      }
+    }
+    if (!repaired) return;  // success
+  }
+  GMM_ASSERT(false, "refactorize: repeated basis repair did not converge");
+}
+
+void SimplexEngine::compute_duals() {
+  // y = c_B^T B^{-1}, accumulated row-wise over basic columns with
+  // nonzero cost; then d_j = c_j - y . A_j.
+  std::vector<double> y(m_, 0.0);
+  for (Index i = 0; i < m_; ++i) {
+    const double cb = sf_.cost[basis_[i]];
+    if (cb == 0.0) continue;
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    for (Index k = 0; k < m_; ++k) y[k] += cb * row[k];
+  }
+  for (Index j = 0; j < n_; ++j) {
+    if (stat_[j] == VStat::kBasic) {
+      d_[j] = 0.0;
+    } else {
+      d_[j] = sf_.cost[j] - column_dot(y.data(), j);
+    }
+  }
+}
+
+SimplexEngine::PivotResult SimplexEngine::dual_pivot() {
+  // ---- 1. leaving row -------------------------------------------------
+  // Normal mode: the largest bound violation, with a deterministic scan
+  // rotation to vary tie-breaks.  Bland mode: the violated row whose
+  // basic variable has the smallest index (anti-cycling).
+  Index leave_row = -1;
+  if (bland_mode_) {
+    Index smallest_var = std::numeric_limits<Index>::max();
+    for (Index i = 0; i < m_; ++i) {
+      const Index bj = basis_[i];
+      const double v = xb_[i];
+      if (std::max(lb_[bj] - v, v - ub_[bj]) > kFeasTol &&
+          bj < smallest_var) {
+        smallest_var = bj;
+        leave_row = i;
+      }
+    }
+  } else {
+    double worst = kFeasTol;
+    for (Index ii = 0; ii < m_; ++ii) {
+      const Index i = static_cast<Index>((ii + tie_rotation_) % m_);
+      const Index bj = basis_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lb_[bj] - v, v - ub_[bj]);
+      if (viol > worst) {
+        worst = viol;
+        leave_row = i;
+      }
+    }
+    ++tie_rotation_;
+  }
+  if (leave_row < 0) return PivotResult::kOptimal;
+
+  const Index leave_col = basis_[leave_row];
+  const bool above_upper = xb_[leave_row] > ub_[leave_col];
+  const double target_bound =
+      above_upper ? ub_[leave_col] : lb_[leave_col];
+  // sigma encodes the violation side; see eligibility rules below.
+  const double sigma = above_upper ? 1.0 : -1.0;
+
+  // ---- 2. pivot row alpha_j = (row leave_row of B^{-1}) . A_j ---------
+  const double* rho = binv_.data() + static_cast<std::size_t>(leave_row) * m_;
+  eligible_.clear();
+  for (Index j = 0; j < n_; ++j) {
+    // Compute alpha for every nonbasic column, fixed ones included: their
+    // reduced costs must also be updated below so they stay valid if a
+    // branch-and-bound backtrack later unfixes them.
+    if (!is_nonbasic(stat_[j])) continue;
+    const double a = column_dot(rho, j);
+    alpha_[j] = a;
+    if (std::abs(a) <= kPivotTol) continue;
+    // Eligibility: moving x_j in its feasible direction must move the
+    // leaving basic variable back toward its violated bound.
+    //   d x_B[leave_row] / d x_j = -alpha_j.
+    // Below lower bound (sigma=-1): need the basic value to increase, so a
+    // variable at lower (can only increase) needs alpha_j < 0, a variable
+    // at upper (can only decrease) needs alpha_j > 0.  Above upper bound
+    // (sigma=+1) the conditions flip.  Free columns are always eligible.
+    bool ok = false;
+    switch (stat_[j]) {
+      case VStat::kAtLower:
+        ok = sigma * a > 0.0;
+        break;
+      case VStat::kAtUpper:
+        ok = sigma * a < 0.0;
+        break;
+      case VStat::kFree:
+        ok = true;
+        break;
+      default:
+        break;
+    }
+    if (ok) eligible_.push_back(j);
+  }
+  if (eligible_.empty()) return PivotResult::kInfeasible;
+
+  // ---- 3. dual ratio test ----------------------------------------------
+  // ratio_j = sigma * d_j / alpha_j >= 0 measures how much the entering
+  // reduced cost movement degrades dual feasibility of column j; the
+  // minimum wins.  Normal mode breaks near-ties (Harris slack) by the
+  // largest |alpha| for stability; Bland mode takes the smallest column
+  // index among exact minimizers (anti-cycling).
+  double best_ratio = kInf;
+  for (const Index j : eligible_) {
+    const double ratio = sigma * d_[j] / alpha_[j];
+    best_ratio = std::min(best_ratio, std::max(ratio, 0.0));
+  }
+  Index enter_col = -1;
+  if (bland_mode_) {
+    for (const Index j : eligible_) {
+      const double ratio = std::max(sigma * d_[j] / alpha_[j], 0.0);
+      if (ratio <= best_ratio + 1e-12) {
+        enter_col = j;
+        break;  // eligible_ is in ascending index order
+      }
+    }
+  } else {
+    const double cutoff = best_ratio + kHarrisSlack;
+    double enter_alpha_mag = 0.0;
+    for (const Index j : eligible_) {
+      const double ratio = std::max(sigma * d_[j] / alpha_[j], 0.0);
+      if (ratio <= cutoff && std::abs(alpha_[j]) > enter_alpha_mag) {
+        enter_alpha_mag = std::abs(alpha_[j]);
+        enter_col = j;
+      }
+    }
+  }
+  GMM_ASSERT(enter_col >= 0, "dual ratio test selected no column");
+  const double alpha_q = alpha_[enter_col];
+
+  // ---- 4. FTRAN and numerical cross-check ----------------------------
+  ftran(enter_col, w_);
+  if (std::abs(w_[leave_row] - alpha_q) >
+      1e-6 * (1.0 + std::abs(alpha_q))) {
+    return PivotResult::kNumerical;
+  }
+
+  // ---- 5. apply the pivot ---------------------------------------------
+  const double t = (xb_[leave_row] - target_bound) / alpha_q;  // step of x_q
+  const double theta = d_[enter_col] / alpha_q;                // dual step
+
+  // Reduced costs: d_k -= theta * alpha_k for nonbasic k; the leaving
+  // column (alpha = 1 in its own row) ends at -theta.
+  if (theta != 0.0) {
+    for (Index j = 0; j < n_; ++j) {
+      if (!is_nonbasic(stat_[j]) || j == enter_col) continue;
+      if (alpha_[j] != 0.0) d_[j] -= theta * alpha_[j];
+    }
+  }
+  d_[leave_col] = -theta;
+  d_[enter_col] = 0.0;
+
+  // Basic values: x_B -= t * w, with the entering column taking row
+  // leave_row at value (nonbasic value + t).
+  const double enter_value = nonbasic_value(enter_col) + t;
+  for (Index i = 0; i < m_; ++i) xb_[i] -= t * w_[i];
+  xb_[leave_row] = enter_value;
+
+  // Statuses.  A basic column whose bounds were fixed while basic leaves
+  // as kFixed so it can never re-enter.
+  stat_[enter_col] = VStat::kBasic;
+  if (lb_[leave_col] == ub_[leave_col]) {
+    stat_[leave_col] = VStat::kFixed;
+  } else {
+    stat_[leave_col] = above_upper ? VStat::kAtUpper : VStat::kAtLower;
+  }
+  basis_[leave_row] = enter_col;
+
+  // Product-form update of the explicit inverse:
+  //   row_r /= alpha_q;   row_i -= w_i * row_r (i != r).
+  double* piv_row = binv_.data() + static_cast<std::size_t>(leave_row) * m_;
+  const double inv_alpha = 1.0 / alpha_q;
+  for (Index k = 0; k < m_; ++k) piv_row[k] *= inv_alpha;
+  for (Index i = 0; i < m_; ++i) {
+    if (i == leave_row) continue;
+    const double f = w_[i];
+    if (f == 0.0) continue;
+    double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    for (Index k = 0; k < m_; ++k) row[k] -= f * piv_row[k];
+  }
+
+  // Degeneracy bookkeeping: a zero dual step makes no progress on the
+  // dual objective; long streaks can cycle, so switch to Bland's rules
+  // until a real step happens.
+  if (std::abs(theta) <= kDualTol) {
+    if (++degenerate_streak_ > std::max(200, m_ / 2)) bland_mode_ = true;
+  } else {
+    degenerate_streak_ = 0;
+    bland_mode_ = false;
+  }
+
+  ++pivots_since_refactor_;
+  ++stats_.iterations;
+  return PivotResult::kPivoted;
+}
+
+SolveStatus SimplexEngine::solve(const SimplexOptions& options) {
+  support::WallTimer timer;
+  std::int64_t iterations_this_call = 0;
+  int numerical_retries = 0;
+  while (true) {
+    if (iterations_this_call >= options.iteration_limit) {
+      return SolveStatus::kIterationLimit;
+    }
+    if ((iterations_this_call & 15) == 0 &&
+        timer.seconds() > options.time_limit_seconds) {
+      return SolveStatus::kTimeLimit;
+    }
+    if (pivots_since_refactor_ >= options.refactor_interval) {
+      refactorize();
+      refresh_basic_solution();
+      compute_duals();
+    }
+    switch (dual_pivot()) {
+      case PivotResult::kOptimal:
+        return SolveStatus::kOptimal;
+      case PivotResult::kInfeasible:
+        return SolveStatus::kInfeasible;
+      case PivotResult::kPivoted:
+        ++iterations_this_call;
+        numerical_retries = 0;
+        break;
+      case PivotResult::kNumerical:
+        if (++numerical_retries > 3) return SolveStatus::kNumericalFailure;
+        refactorize();
+        refresh_basic_solution();
+        compute_duals();
+        break;
+    }
+  }
+}
+
+double SimplexEngine::objective_value() const {
+  double obj = 0.0;
+  for (Index i = 0; i < m_; ++i) obj += sf_.cost[basis_[i]] * xb_[i];
+  for (Index j = 0; j < n_; ++j) {
+    if (is_nonbasic(stat_[j]) && sf_.cost[j] != 0.0) {
+      obj += sf_.cost[j] * nonbasic_value(j);
+    }
+  }
+  return obj;
+}
+
+double SimplexEngine::column_value(Index j) const {
+  if (stat_[j] == VStat::kBasic) {
+    for (Index i = 0; i < m_; ++i) {
+      if (basis_[i] == j) return xb_[i];
+    }
+    GMM_ASSERT(false, "basic column missing from basis array");
+  }
+  return nonbasic_value(j);
+}
+
+std::vector<double> SimplexEngine::structural_solution() const {
+  std::vector<double> x(sf_.num_structural);
+  for (Index j = 0; j < sf_.num_structural; ++j) {
+    x[j] = stat_[j] == VStat::kBasic ? 0.0 : nonbasic_value(j);
+  }
+  for (Index i = 0; i < m_; ++i) {
+    if (basis_[i] < sf_.num_structural) x[basis_[i]] = xb_[i];
+  }
+  return x;
+}
+
+}  // namespace gmm::lp

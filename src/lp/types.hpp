@@ -1,0 +1,70 @@
+// Shared scalar types, enums and tolerances for the LP/MILP layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gmm::lp {
+
+/// Column / row index type.  32-bit keeps basis snapshots compact; the
+/// largest model in this project (the complete formulation at Table-3
+/// design point 9) has ~5e4 columns, far below the 2^31 limit.
+using Index = std::int32_t;
+
+/// Sentinel for "no index".
+inline constexpr Index kInvalidIndex = -1;
+
+/// Infinity for variable and row activity bounds.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Primal feasibility tolerance (bound violation).
+inline constexpr double kFeasTol = 1e-7;
+
+/// Dual feasibility tolerance (reduced-cost sign violation).
+inline constexpr double kDualTol = 1e-7;
+
+/// Integrality tolerance used by branch & bound.
+inline constexpr double kIntTol = 1e-6;
+
+/// Pivot magnitude below which an entry is treated as zero in ratio tests.
+inline constexpr double kPivotTol = 1e-9;
+
+enum class VarType : std::uint8_t { kContinuous, kInteger, kBinary };
+
+enum class Sense : std::uint8_t { kLessEqual, kGreaterEqual, kEqual };
+
+enum class SolveStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+  kNodeLimit,
+  kNumericalFailure,
+  kFeasible,  // MILP: incumbent found but optimality not proven
+};
+
+/// Human-readable status name for logs and bench tables.
+constexpr const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+    case SolveStatus::kTimeLimit:
+      return "time-limit";
+    case SolveStatus::kNodeLimit:
+      return "node-limit";
+    case SolveStatus::kNumericalFailure:
+      return "numerical-failure";
+    case SolveStatus::kFeasible:
+      return "feasible";
+  }
+  return "?";
+}
+
+}  // namespace gmm::lp

@@ -1,0 +1,91 @@
+// Objective-function cost model (paper Section 4.1.3).
+//
+// Three components per (data structure d, bank type t):
+//
+//   latency   = reads_d * RL_t + writes_d * WL_t
+//               (the paper assumes reads = writes = D_d, giving its
+//                D_d * [RL_t + WL_t]; with footprint data the counts
+//                refine it)
+//   pin delay = D_d * T_t
+//               (pins traversed throttle the clock; deeper structures are
+//                accessed more often)
+//   pin I/O   = (ceil(log2(CD_dt)) + CW_dt) * T_t
+//               (address + data pins needed when the bank is off-chip)
+//
+// The total is the weighted sum with normalization weights alpha_i.
+#pragma once
+
+#include <vector>
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "mapping/preprocess.hpp"
+
+namespace gmm::mapping {
+
+struct CostWeights {
+  double latency = 1.0;    // alpha_1
+  double pin_delay = 1.0;  // alpha_2
+  double pin_io = 1.0;     // alpha_3
+};
+
+/// Cost components for one (d, t) assignment.
+struct CostBreakdown {
+  double latency = 0.0;
+  double pin_delay = 0.0;
+  double pin_io = 0.0;
+
+  [[nodiscard]] double total(const CostWeights& w) const {
+    return w.latency * latency + w.pin_delay * pin_delay +
+           w.pin_io * pin_io;
+  }
+};
+
+/// Components of assigning `ds` to `type`, given its placement plan.
+CostBreakdown assignment_cost(const design::DataStructure& ds,
+                              const arch::BankType& type,
+                              const PlacementPlan& plan);
+
+/// All (d, t) plans and costs for a design on a board; computed once and
+/// shared by the global, complete, and greedy mappers so every approach
+/// optimizes the identical objective.
+class CostTable {
+ public:
+  CostTable(const design::Design& design, const arch::Board& board,
+            CostWeights weights = {});
+
+  [[nodiscard]] const PlacementPlan& plan(std::size_t d, std::size_t t) const {
+    return plans_[d * num_types_ + t];
+  }
+  [[nodiscard]] const CostBreakdown& breakdown(std::size_t d,
+                                               std::size_t t) const {
+    return costs_[d * num_types_ + t];
+  }
+  [[nodiscard]] double cost(std::size_t d, std::size_t t) const {
+    return costs_[d * num_types_ + t].total(weights_);
+  }
+  [[nodiscard]] bool feasible(std::size_t d, std::size_t t) const {
+    return plan(d, t).feasible;
+  }
+  [[nodiscard]] const CostWeights& weights() const { return weights_; }
+  [[nodiscard]] std::size_t num_structures() const { return num_structures_; }
+  [[nodiscard]] std::size_t num_types() const { return num_types_; }
+
+  /// Objective of a full assignment (type index per structure).
+  [[nodiscard]] double assignment_objective(
+      const std::vector<int>& type_of) const;
+
+ private:
+  std::size_t num_structures_, num_types_;
+  CostWeights weights_;
+  std::vector<PlacementPlan> plans_;
+  std::vector<CostBreakdown> costs_;
+};
+
+/// Weights that scale each component by the reciprocal of its mean over
+/// all feasible (d, t) pairs, so no component numerically dominates (the
+/// paper's "weight coefficient used to normalize").
+CostWeights normalized_weights(const design::Design& design,
+                               const arch::Board& board);
+
+}  // namespace gmm::mapping

@@ -1,0 +1,172 @@
+#include "mapping/detailed_ilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "mapping/detailed_mapper.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace gmm::mapping {
+
+namespace {
+
+struct Fragment {
+  std::size_t ds;
+  const FragmentGroup* group;
+};
+
+/// Pack one type's fragments with the bin-packing ILP; returns false when
+/// the model is infeasible or hits limits (caller falls back).
+bool pack_type_ilp(const arch::BankType& type, std::size_t type_index,
+                   const std::vector<Fragment>& fragments,
+                   const DetailedIlpOptions& options,
+                   DetailedMapping& mapping) {
+  const auto num_fragments = static_cast<std::int64_t>(fragments.size());
+  // Instances can never exceed the fragment count (each fragment touches
+  // exactly one instance), which keeps the model compact.
+  const std::int64_t num_instances =
+      std::min<std::int64_t>(type.instances, num_fragments);
+
+  lp::Model model;
+  // y[f][i], laid out fragment-major.
+  std::vector<lp::Index> y(static_cast<std::size_t>(num_fragments) *
+                           num_instances);
+  for (std::int64_t f = 0; f < num_fragments; ++f) {
+    for (std::int64_t i = 0; i < num_instances; ++i) {
+      y[f * num_instances + i] = model.add_binary(0.0);
+    }
+  }
+  std::vector<lp::Index> used(num_instances);
+  for (std::int64_t i = 0; i < num_instances; ++i) {
+    used[i] = model.add_binary(1.0);  // objective: instances touched
+  }
+
+  for (std::int64_t f = 0; f < num_fragments; ++f) {
+    lp::LinExpr placed;
+    for (std::int64_t i = 0; i < num_instances; ++i) {
+      placed.add(y[f * num_instances + i], 1.0);
+    }
+    model.add_constraint(placed, lp::Sense::kEqual, 1.0);
+  }
+  for (std::int64_t i = 0; i < num_instances; ++i) {
+    lp::LinExpr ports, bits;
+    for (std::int64_t f = 0; f < num_fragments; ++f) {
+      ports.add(y[f * num_instances + i],
+                static_cast<double>(fragments[f].group->ports_each));
+      bits.add(y[f * num_instances + i],
+               static_cast<double>(fragments[f].group->block_bits));
+    }
+    ports.add(used[i], -static_cast<double>(type.ports));
+    bits.add(used[i], -static_cast<double>(type.capacity_bits()));
+    model.add_constraint(ports, lp::Sense::kLessEqual, 0.0);
+    model.add_constraint(bits, lp::Sense::kLessEqual, 0.0);
+    if (i + 1 < num_instances) {
+      lp::LinExpr order;
+      order.add(used[i], 1.0);
+      order.add(used[i + 1], -1.0);
+      model.add_constraint(order, lp::Sense::kGreaterEqual, 0.0);
+    }
+  }
+
+  const ilp::MipResult result = ilp::solve_mip(model, options.mip);
+  if (!result.has_incumbent()) {
+    GMM_LOG(kInfo) << "detailed-ilp: type " << type.name << " "
+                   << lp::to_string(result.status)
+                   << "; falling back to the constructive packer";
+    return false;
+  }
+
+  // Decode: per instance, place blocks by descending size (pow-2 blocks
+  // packed in order are automatically buddy-aligned).
+  for (std::int64_t i = 0; i < num_instances; ++i) {
+    std::vector<const Fragment*> members;
+    for (std::int64_t f = 0; f < num_fragments; ++f) {
+      if (result.x[y[f * num_instances + i]] > 0.5) {
+        members.push_back(&fragments[f]);
+      }
+    }
+    if (members.empty()) continue;
+    std::stable_sort(members.begin(), members.end(),
+                     [](const Fragment* a, const Fragment* b) {
+                       return a->group->block_bits > b->group->block_bits;
+                     });
+    std::int64_t next_port = 0;
+    std::int64_t next_offset = 0;
+    for (const Fragment* frag : members) {
+      mapping.fragments.push_back(PlacedFragment{
+          .ds = frag->ds,
+          .type = type_index,
+          .instance = i,
+          .config_index = frag->group->config_index,
+          .kind = frag->group->kind,
+          .ports = frag->group->ports_each,
+          .first_port = next_port,
+          .offset_bits = next_offset,
+          .block_bits = frag->group->block_bits,
+          .words_covered = frag->group->words_covered,
+          .bits_covered = frag->group->bits_covered,
+      });
+      next_port += frag->group->ports_each;
+      next_offset += frag->group->block_bits;
+      GMM_ASSERT(next_port <= type.ports,
+                 "detailed-ilp decode exceeded instance ports");
+      GMM_ASSERT(next_offset <= type.capacity_bits(),
+                 "detailed-ilp decode exceeded instance capacity");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DetailedMapping map_detailed_ilp(const design::Design& design,
+                                 const arch::Board& board,
+                                 const CostTable& table,
+                                 const GlobalAssignment& assignment,
+                                 const DetailedIlpOptions& options) {
+  DetailedMapping mapping;
+  GMM_ASSERT(assignment.type_of.size() == design.size(),
+             "assignment does not match the design");
+
+  // Computed on the first fallback and reused for any further ones.
+  std::optional<DetailedMapping> constructive;
+
+  for (std::size_t t = 0; t < board.num_types(); ++t) {
+    std::vector<Fragment> fragments;
+    for (std::size_t d = 0; d < design.size(); ++d) {
+      if (assignment.type_of[d] != static_cast<int>(t)) continue;
+      const PlacementPlan& plan = table.plan(d, t);
+      for (const FragmentGroup& g : plan.groups) {
+        for (std::int64_t k = 0; k < g.count; ++k) {
+          fragments.push_back(Fragment{d, &g});
+        }
+      }
+    }
+    if (fragments.empty()) continue;
+
+    const bool ilp_ok =
+        static_cast<std::int64_t>(fragments.size()) <=
+            options.max_fragments_for_ilp &&
+        pack_type_ilp(board.type(t), t, fragments, options, mapping);
+    if (!ilp_ok) {
+      if (!constructive.has_value()) {
+        constructive = map_detailed(design, board, table, assignment);
+        if (!constructive->success) {
+          mapping.success = false;
+          mapping.failed_type = constructive->failed_type;
+          mapping.failure = constructive->failure;
+          return mapping;
+        }
+      }
+      for (const PlacedFragment& f : constructive->fragments) {
+        if (f.type == t) mapping.fragments.push_back(f);
+      }
+    }
+  }
+  mapping.success = true;
+  return mapping;
+}
+
+}  // namespace gmm::mapping

@@ -1,0 +1,58 @@
+// ILP-mode detailed mapper (paper Section 4.2).
+//
+// The paper: "An ILP-based formulation for the detailed memory mapper was
+// developed ... The aim is to assign data structures to specific ports of
+// specific instances of the bank ... Optimization factors include trying
+// to reduce on-chip interconnection congestion and reducing data
+// structure fragmentation."
+//
+// Since pre-processing already fixes the fragment multiset (fragmentation
+// is decided by the Figure-2 decomposition), the remaining freedom is
+// WHICH instances host the fragments; congestion is modeled as the number
+// of instances touched.  Per bank type this is a small bin-packing ILP:
+//
+//   y_fi  (binary)  fragment f placed on instance i
+//   u_i   (binary)  instance i used
+//   minimize  sum_i u_i
+//   s.t.  sum_i y_fi = 1                          for every fragment f
+//         sum_f EP_f    * y_fi <= P_t  * u_i      per instance
+//         sum_f bits_f  * y_fi <= cap  * u_i      per instance
+//         u_i >= u_{i+1}                          (symmetry breaking)
+//
+// Cost-neutrality still holds (instances of a type are interchangeable),
+// so this can only compress placements, never change the assignment cost.
+// Storage overlap between lifetime-disjoint structures is NOT exploited
+// in ILP mode (conservative); designs relying on it should use the
+// constructive packer.  Types whose fragment count exceeds
+// `max_fragments_for_ilp` silently fall back to the constructive packer.
+#pragma once
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "ilp/mip_solver.hpp"
+#include "mapping/cost_model.hpp"
+#include "mapping/types.hpp"
+
+namespace gmm::mapping {
+
+struct DetailedIlpOptions {
+  /// Bounded effort per type: bin packing is NP-hard and the constructive
+  /// packer is always available, so a stuck ILP falls back rather than
+  /// stalls (an incumbent found within the limits is still used).
+  ilp::MipOptions mip = [] {
+    ilp::MipOptions o;
+    o.time_limit_seconds = 10.0;
+    o.node_limit = 100'000;
+    return o;
+  }();
+  /// Fall back to the constructive packer beyond this many fragments.
+  std::int64_t max_fragments_for_ilp = 96;
+};
+
+DetailedMapping map_detailed_ilp(const design::Design& design,
+                                 const arch::Board& board,
+                                 const CostTable& table,
+                                 const GlobalAssignment& assignment,
+                                 const DetailedIlpOptions& options = {});
+
+}  // namespace gmm::mapping

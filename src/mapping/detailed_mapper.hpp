@@ -1,0 +1,48 @@
+// Detailed memory mapping (paper Section 4.2).
+//
+// Given the global assignment (structure -> bank type), place every
+// Figure-2 fragment on a concrete instance, port range and block offset.
+// Because all instances of a type share performance and distance, nothing
+// placed here can change the global objective — the paper's key
+// observation — so the packer optimizes only the secondary goals the
+// paper names: few instances touched (congestion) and low fragmentation.
+//
+// Algorithm, per bank type: fragments sorted by decreasing port demand
+// (the paper's "order of decreasing fraction sizes"), then first-fit onto
+// instances under two constraints that the pre-processing makes
+// sufficient —
+//   * sum of fragment EPs on an instance <= P_t, and
+//   * power-of-two blocks allocated buddy-style inside the instance
+//     (which can never fragment, because every block is a power of two
+//     and EP/P_t dominates the capacity fraction).
+// Lifetime-compatible structures may share a block of identical size when
+// overlap is enabled, realizing the global mapper's clique-relaxed
+// capacity constraints.
+//
+// For types with more than two ports the EP estimate is not exact (the
+// paper: "optimal for Pt = 2; a waste of ports when Pt > 2"), so packing
+// can fail; map_pipeline() then re-runs global mapping with a cut, as the
+// paper prescribes ("the global and detailed mappers need to execute
+// multiple times until a solution is found").
+#pragma once
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "mapping/cost_model.hpp"
+#include "mapping/types.hpp"
+
+namespace gmm::mapping {
+
+struct DetailedOptions {
+  /// Allow lifetime-disjoint structures to share identical-size blocks.
+  bool allow_overlap = true;
+};
+
+/// Place every structure's fragments.  `assignment.type_of[d]` must be a
+/// feasible type for d according to `table`.
+DetailedMapping map_detailed(const design::Design& design,
+                             const arch::Board& board, const CostTable& table,
+                             const GlobalAssignment& assignment,
+                             const DetailedOptions& options = {});
+
+}  // namespace gmm::mapping

@@ -1,0 +1,238 @@
+#include "mapping/global_mapper.hpp"
+
+#include <cmath>
+
+#include "design/conflict_analysis.hpp"
+#include "mapping/greedy_mapper.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace gmm::mapping {
+
+GlobalResult map_global(const design::Design& design,
+                        const arch::Board& board, const CostTable& table,
+                        const GlobalOptions& options) {
+  GlobalResult result;
+  const std::size_t num_ds = design.size();
+  const std::size_t num_types = board.num_types();
+  GMM_ASSERT(table.num_structures() == num_ds &&
+                 table.num_types() == num_types,
+             "cost table does not match design/board");
+  if (num_ds == 0) {
+    result.status = lp::SolveStatus::kOptimal;
+    result.assignment.objective = 0.0;
+    return result;
+  }
+
+  support::WallTimer timer;
+
+  // ---- variables: Z_dt for feasible pairs only -------------------------
+  lp::Model model;
+  std::vector<std::vector<lp::Index>> z(num_ds,
+                                        std::vector<lp::Index>(num_types,
+                                                               lp::kInvalidIndex));
+  for (std::size_t d = 0; d < num_ds; ++d) {
+    bool any = false;
+    for (std::size_t t = 0; t < num_types; ++t) {
+      if (!table.feasible(d, t)) continue;
+      z[d][t] = model.add_binary(table.cost(d, t),
+                                 "z." + std::to_string(d) + "." +
+                                     std::to_string(t));
+      any = true;
+    }
+    if (!any) {
+      GMM_LOG(kInfo) << "global: structure " << design.at(d).name
+                     << " fits no bank type; model infeasible";
+      result.status = lp::SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  // ---- uniqueness --------------------------------------------------------
+  for (std::size_t d = 0; d < num_ds; ++d) {
+    lp::LinExpr expr;
+    for (std::size_t t = 0; t < num_types; ++t) {
+      if (z[d][t] != lp::kInvalidIndex) expr.add(z[d][t], 1.0);
+    }
+    model.add_constraint(expr, lp::Sense::kEqual, 1.0,
+                         "uniq." + std::to_string(d));
+  }
+
+  // ---- ports and capacity (conflict-clique aware) -----------------------
+  // Lifetime-disjoint structures may time-multiplex both storage AND the
+  // bank wiring (the detailed mapper realizes this as identical shared
+  // blocks reusing the same port range), so with overlap enabled BOTH
+  // resource constraints apply per maximal conflict clique.  Note the
+  // Figure-3 port estimate dominates the capacity fraction
+  // (CP_dt >= area_dt * P_t / bits_t), so relaxing capacity alone would
+  // be vacuous — the port constraint would still forbid every overlap.
+  std::vector<std::vector<std::size_t>> cliques;
+  if (options.overlap_aware_capacity) {
+    cliques = design::conflict_cliques(design).cliques;
+  } else {
+    std::vector<std::size_t> all(num_ds);
+    for (std::size_t d = 0; d < num_ds; ++d) all[d] = d;
+    cliques.push_back(std::move(all));
+  }
+  for (std::size_t t = 0; t < num_types; ++t) {
+    const double total_ports =
+        static_cast<double>(board.type(t).total_ports());
+    const double capacity = static_cast<double>(board.type(t).total_bits());
+    for (std::size_t q = 0; q < cliques.size(); ++q) {
+      lp::LinExpr ports, area;
+      for (const std::size_t d : cliques[q]) {
+        if (z[d][t] == lp::kInvalidIndex) continue;
+        const PlacementPlan& plan = table.plan(d, t);
+        ports.add(z[d][t], static_cast<double>(plan.cp));
+        area.add(z[d][t], static_cast<double>(plan.cw * plan.cd));
+      }
+      if (!ports.empty()) {
+        model.add_constraint(ports, lp::Sense::kLessEqual, total_ports,
+                             "ports." + std::to_string(t) + "." +
+                                 std::to_string(q));
+        model.add_constraint(area, lp::Sense::kLessEqual, capacity,
+                             "cap." + std::to_string(t) + "." +
+                                 std::to_string(q));
+      }
+    }
+  }
+
+  // ---- retry cuts ---------------------------------------------------------
+  for (const auto& cut : options.no_good_cuts) {
+    lp::LinExpr expr;
+    for (const auto& [d, t] : cut) {
+      if (z[d][t] != lp::kInvalidIndex) expr.add(z[d][t], 1.0);
+    }
+    if (!expr.empty()) {
+      model.add_constraint(expr, lp::Sense::kLessEqual,
+                           static_cast<double>(cut.size()) - 1.0);
+    }
+  }
+
+  result.model_size.variables = model.num_vars();
+  result.model_size.binaries = model.num_vars();
+  result.model_size.rows = model.num_rows();
+  result.model_size.nonzeros =
+      static_cast<std::int64_t>(model.num_nonzeros());
+  result.effort.formulate_seconds = timer.seconds();
+
+  // ---- greedy-repair primal heuristic -----------------------------------
+  // Round each structure to its strongest fractional type, then migrate
+  // structures off over-budget types by smallest cost delta.  Conservative
+  // (all-conflicting) budgets are used, so any repaired assignment is
+  // feasible for the clique-relaxed model too; the MIP solver validates
+  // against the actual rows regardless.  Early incumbents prune the
+  // near-optimal plateaus these port/capacity knapsacks produce.
+  ilp::MipOptions mip_options = options.mip;
+  mip_options.heuristic_period = 1;
+  if (!mip_options.primal_heuristic) {
+    mip_options.primal_heuristic =
+        [&model, &board, &table, &z, &design, num_ds,
+         num_types](const std::vector<double>& lp_x)
+        -> std::optional<std::vector<double>> {
+      std::vector<int> assign(num_ds, -1);
+      for (std::size_t d = 0; d < num_ds; ++d) {
+        double best = -1.0;
+        for (std::size_t t = 0; t < num_types; ++t) {
+          if (z[d][t] != lp::kInvalidIndex && lp_x[z[d][t]] > best) {
+            best = lp_x[z[d][t]];
+            assign[d] = static_cast<int>(t);
+          }
+        }
+        if (assign[d] < 0) return std::nullopt;
+      }
+      // Conservative per-type loads.
+      std::vector<std::int64_t> ports(num_types, 0), bits(num_types, 0);
+      for (std::size_t d = 0; d < num_ds; ++d) {
+        const PlacementPlan& plan = table.plan(d, assign[d]);
+        ports[assign[d]] += plan.cp;
+        bits[assign[d]] += plan.cw * plan.cd;
+      }
+      for (std::size_t moves = 0; moves < 4 * num_ds; ++moves) {
+        int over = -1;
+        for (std::size_t t = 0; t < num_types; ++t) {
+          if (ports[t] > board.type(t).total_ports() ||
+              bits[t] > board.type(t).total_bits()) {
+            over = static_cast<int>(t);
+            break;
+          }
+        }
+        if (over < 0) break;
+        // Cheapest migration off the over-budget type.
+        double best_delta = lp::kInf;
+        std::size_t best_d = 0;
+        int best_t = -1;
+        for (std::size_t d = 0; d < num_ds; ++d) {
+          if (assign[d] != over) continue;
+          for (std::size_t t = 0; t < num_types; ++t) {
+            if (static_cast<int>(t) == over ||
+                z[d][t] == lp::kInvalidIndex) {
+              continue;
+            }
+            const PlacementPlan& plan = table.plan(d, t);
+            if (ports[t] + plan.cp > board.type(t).total_ports() ||
+                bits[t] + plan.cw * plan.cd > board.type(t).total_bits()) {
+              continue;
+            }
+            const double delta = table.cost(d, t) - table.cost(d, over);
+            if (delta < best_delta) {
+              best_delta = delta;
+              best_d = d;
+              best_t = static_cast<int>(t);
+            }
+          }
+        }
+        if (best_t < 0) {
+          // Repair stuck: last resort is the feasibility-first
+          // construction (ignores the LP entirely but always yields an
+          // incumbent when one is this easy to build).
+          assign = headroom_assignment(design, board, table);
+          if (assign.empty()) return std::nullopt;
+          break;
+        }
+        const PlacementPlan& from = table.plan(best_d, over);
+        const PlacementPlan& to = table.plan(best_d, best_t);
+        ports[over] -= from.cp;
+        bits[over] -= from.cw * from.cd;
+        ports[best_t] += to.cp;
+        bits[best_t] += to.cw * to.cd;
+        assign[best_d] = best_t;
+      }
+      std::vector<double> x(static_cast<std::size_t>(model.num_vars()), 0.0);
+      for (std::size_t d = 0; d < num_ds; ++d) {
+        if (z[d][assign[d]] == lp::kInvalidIndex) return std::nullopt;
+        x[z[d][assign[d]]] = 1.0;
+      }
+      return x;
+    };
+  }
+
+  // ---- solve --------------------------------------------------------------
+  timer.reset();
+  result.mip = ilp::solve_mip(model, mip_options);
+  result.effort.solve_seconds = timer.seconds();
+  result.effort.bnb_nodes = result.mip.nodes;
+  result.effort.lp_iterations = result.mip.lp_iterations;
+  result.status = result.mip.status;
+  if (!result.mip.has_incumbent()) return result;
+
+  // ---- extract assignment ---------------------------------------------
+  result.assignment.type_of.assign(num_ds, -1);
+  for (std::size_t d = 0; d < num_ds; ++d) {
+    for (std::size_t t = 0; t < num_types; ++t) {
+      if (z[d][t] != lp::kInvalidIndex &&
+          result.mip.x[z[d][t]] > 0.5) {
+        GMM_ASSERT(result.assignment.type_of[d] < 0,
+                   "structure assigned to two types");
+        result.assignment.type_of[d] = static_cast<int>(t);
+      }
+    }
+    GMM_ASSERT(result.assignment.type_of[d] >= 0,
+               "structure left unassigned by an incumbent solution");
+  }
+  result.assignment.objective = result.mip.objective;
+  return result;
+}
+
+}  // namespace gmm::mapping

@@ -1,0 +1,49 @@
+// Global memory mapping (paper Section 4.1): the ILP over Z_dt only.
+//
+// Constraints:
+//   * uniqueness:  sum_t Z_dt = 1 for every structure d (only feasible
+//     (d, t) pairs get variables; a structure with no feasible type makes
+//     the model infeasible up front);
+//   * ports:       sum_d CP_dt * Z_dt <= P_t * I_t per type;
+//   * capacity:    sum_{d in Q} CW_dt * CD_dt * Z_dt <= I_t * bits_t per
+//     type and per maximal conflict clique Q — lifetime-disjoint
+//     structures may overlap in storage, which the clique family encodes
+//     exactly (one all-structures clique when everything conflicts).
+//
+// Objective: the CostTable's weighted latency + pin-delay + pin-I/O.
+#pragma once
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "ilp/mip_solver.hpp"
+#include "mapping/cost_model.hpp"
+#include "mapping/types.hpp"
+
+namespace gmm::mapping {
+
+struct GlobalOptions {
+  CostWeights weights;
+  ilp::MipOptions mip;
+  /// Use conflict-clique capacity constraints (overlap-aware).  When
+  /// false, one conservative all-structures capacity row per type.
+  bool overlap_aware_capacity = true;
+  /// No-good cuts from failed detailed-mapping attempts (the pipeline's
+  /// retry loop): for each entry S, add sum_{(d,t) in S} Z_dt <= |S| - 1,
+  /// forbidding that exact co-assignment from recurring.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> no_good_cuts;
+};
+
+struct GlobalResult {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  GlobalAssignment assignment;  // valid when status is optimal/feasible
+  ModelSize model_size;
+  SolveEffort effort;
+  ilp::MipResult mip;
+};
+
+/// Run global mapping.  `table` must be built from the same design/board.
+GlobalResult map_global(const design::Design& design,
+                        const arch::Board& board, const CostTable& table,
+                        const GlobalOptions& options = {});
+
+}  // namespace gmm::mapping

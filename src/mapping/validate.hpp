@@ -1,0 +1,30 @@
+// Legality checking of a detailed mapping.
+//
+// Used by tests (the global->detailed success-guarantee property), by the
+// pipeline as a paranoia gate, and by the complete mapper to vet its
+// packing heuristic.  Checks, per violation string returned:
+//   * every structure's fragments exactly cover depth x width data bits,
+//   * fragments sit on existing instances of the assigned type,
+//   * per instance: port demand within P_t, port ranges disjoint,
+//   * blocks are power-of-two sized, aligned, inside the capacity,
+//   * two blocks on an instance either coincide exactly (a shared block
+//     between non-conflicting structures) or do not overlap at all,
+//   * a port range carries exactly one configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "mapping/types.hpp"
+
+namespace gmm::mapping {
+
+/// Empty result means the mapping is legal.
+std::vector<std::string> validate_mapping(const design::Design& design,
+                                          const arch::Board& board,
+                                          const GlobalAssignment& assignment,
+                                          const DetailedMapping& mapping);
+
+}  // namespace gmm::mapping

@@ -1,0 +1,107 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace gmm::report {
+
+void ascii_plot(std::ostream& out, const std::vector<Series>& series,
+                const PlotOptions& options) {
+  GMM_ASSERT(!series.empty(), "nothing to plot");
+  std::size_t n = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const Series& s : series) {
+    n = std::max(n, s.y.size());
+    for (const double v : s.y) {
+      const double t = options.log_y ? std::log10(std::max(v, 1e-12)) : v;
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  GMM_ASSERT(n > 0, "empty series");
+  if (hi <= lo) hi = lo + 1.0;
+
+  const int width = std::max(options.width, 16);
+  const int height = std::max(options.height, 4);
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  const auto to_row = [&](double v) {
+    const double t = options.log_y ? std::log10(std::max(v, 1e-12)) : v;
+    const double frac = (t - lo) / (hi - lo);
+    return height - 1 -
+           static_cast<int>(std::lround(frac * (height - 1)));
+  };
+  const auto to_col = [&](std::size_t i) {
+    return n <= 1 ? 0
+                  : static_cast<int>(i * static_cast<std::size_t>(width - 1) /
+                                     (n - 1));
+  };
+  for (const Series& s : series) {
+    // Connect consecutive points with interpolated markers.
+    for (std::size_t i = 0; i + 1 < s.y.size(); ++i) {
+      const int c0 = to_col(i), c1 = to_col(i + 1);
+      const int r0 = to_row(s.y[i]), r1 = to_row(s.y[i + 1]);
+      const int steps = std::max(1, c1 - c0);
+      for (int k = 0; k <= steps; ++k) {
+        const int c = c0 + k;
+        const int r = r0 + (r1 - r0) * k / steps;
+        if (r >= 0 && r < height && c >= 0 && c < width) {
+          canvas[r][c] = s.marker;
+        }
+      }
+    }
+    if (s.y.size() == 1) {
+      canvas[to_row(s.y[0])][to_col(0)] = s.marker;
+    }
+  }
+
+  const auto value_at = [&](int row) {
+    const double frac =
+        static_cast<double>(height - 1 - row) / (height - 1);
+    const double t = lo + frac * (hi - lo);
+    return options.log_y ? std::pow(10.0, t) : t;
+  };
+  if (!options.y_label.empty()) out << options.y_label << "\n";
+  for (int r = 0; r < height; ++r) {
+    out << support::format_fixed(value_at(r), 1);
+    const std::string tick = support::format_fixed(value_at(r), 1);
+    for (std::size_t pad = tick.size(); pad < 10; ++pad) out << ' ';
+    out << "| " << canvas[r] << "\n";
+  }
+  out << std::string(10, ' ') << "+" << std::string(width + 1, '-') << "\n";
+  if (!options.x_label.empty()) {
+    out << std::string(12, ' ') << options.x_label << "\n";
+  }
+  for (const Series& s : series) {
+    out << "  " << s.marker << " = " << s.label << "\n";
+  }
+}
+
+void write_gnuplot_data(std::ostream& out,
+                        const std::vector<Series>& series) {
+  out << "# x";
+  for (const Series& s : series) out << "\t" << s.label;
+  out << "\n";
+  std::size_t n = 0;
+  for (const Series& s : series) n = std::max(n, s.y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out << i;
+    for (const Series& s : series) {
+      out << "\t";
+      if (i < s.y.size()) {
+        out << s.y[i];
+      } else {
+        out << "nan";
+      }
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace gmm::report

@@ -1,0 +1,33 @@
+// Terminal line plots (for Figure 4) and gnuplot data emission.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gmm::report {
+
+struct Series {
+  std::string label;
+  std::vector<double> y;  // one value per x position
+  char marker = '*';
+};
+
+struct PlotOptions {
+  int width = 72;    // characters
+  int height = 20;   // characters
+  std::string x_label;
+  std::string y_label;
+  bool log_y = false;
+};
+
+/// Render series over x = 0..n-1 as an ASCII chart with a legend.
+void ascii_plot(std::ostream& out, const std::vector<Series>& series,
+                const PlotOptions& options = {});
+
+/// Write a gnuplot-ready whitespace-separated data file: column 0 is the
+/// x index, then one column per series (header comment with labels).
+void write_gnuplot_data(std::ostream& out,
+                        const std::vector<Series>& series);
+
+}  // namespace gmm::report

@@ -1,0 +1,97 @@
+#include "report/placement_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace gmm::report {
+
+void write_placement_report(std::ostream& out, const design::Design& design,
+                            const arch::Board& board,
+                            const mapping::DetailedMapping& mapping) {
+  if (!mapping.success) {
+    out << "placement FAILED: " << mapping.failure << "\n";
+    return;
+  }
+
+  // Bucket fragments by (type, instance), ordered.
+  std::map<std::pair<std::size_t, std::int64_t>,
+           std::vector<const mapping::PlacedFragment*>>
+      by_instance;
+  for (const mapping::PlacedFragment& f : mapping.fragments) {
+    by_instance[{f.type, f.instance}].push_back(&f);
+  }
+
+  std::size_t current_type = static_cast<std::size_t>(-1);
+  for (const auto& [key, fragments] : by_instance) {
+    const auto& [t, instance] = key;
+    const arch::BankType& type = board.type(t);
+    if (t != current_type) {
+      current_type = t;
+      out << type.name << " (" << type.instances << " instances, "
+          << type.ports << " port" << (type.ports == 1 ? "" : "s")
+          << " x " << type.capacity_bits() << " bits";
+      if (type.pins_traversed > 0) {
+        out << ", " << type.pins_traversed << " pins";
+      }
+      out << ")\n";
+    }
+
+    // Distinct wiring groups count once toward port/bit usage.
+    std::int64_t ports_used = 0;
+    std::int64_t bits_used = 0;
+    std::vector<const mapping::PlacedFragment*> heads;
+    for (const mapping::PlacedFragment* f : fragments) {
+      const bool duplicate = std::any_of(
+          heads.begin(), heads.end(), [f](const mapping::PlacedFragment* h) {
+            return h->first_port == f->first_port &&
+                   h->offset_bits == f->offset_bits &&
+                   h->block_bits == f->block_bits;
+          });
+      if (!duplicate) {
+        heads.push_back(f);
+        ports_used += f->ports;
+        bits_used += f->block_bits;
+      }
+    }
+    out << "  " << type.name << "[" << instance << "]  " << ports_used << "/"
+        << type.ports << " ports, " << bits_used << "/"
+        << type.capacity_bits() << " bits\n";
+
+    std::vector<const mapping::PlacedFragment*> ordered(fragments);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const mapping::PlacedFragment* a,
+                 const mapping::PlacedFragment* b) {
+                if (a->offset_bits != b->offset_bits) {
+                  return a->offset_bits < b->offset_bits;
+                }
+                return a->ds < b->ds;
+              });
+    for (const mapping::PlacedFragment* f : ordered) {
+      out << "    ";
+      if (f->ports == 1) {
+        out << "port  " << f->first_port << "   ";
+      } else {
+        out << "ports " << f->first_port << "-"
+            << f->first_port + f->ports - 1 << " ";
+      }
+      out << " config " << type.configs[f->config_index].to_string() << "  ["
+          << f->offset_bits << ".." << f->offset_bits + f->block_bits - 1
+          << "]  " << design.at(f->ds).name << "  ("
+          << mapping::to_string(f->kind) << ", " << f->words_covered << "x"
+          << f->bits_covered << " data)\n";
+    }
+  }
+}
+
+std::string placement_report_to_string(
+    const design::Design& design, const arch::Board& board,
+    const mapping::DetailedMapping& mapping) {
+  std::ostringstream out;
+  write_placement_report(out, design, board, mapping);
+  return out.str();
+}
+
+}  // namespace gmm::report

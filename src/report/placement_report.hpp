@@ -1,0 +1,29 @@
+// Human-readable placement report: per bank type, a per-instance memory
+// map showing port assignments and block occupancy of a detailed mapping.
+//
+//   blockram[0]  2/2 ports, 4096/4096 bits
+//     ports 0-1  config 256x16  [   0..4095]  window      (full)
+//   blockram[1]  1/2 ports, 2048/4096 bits
+//     port  0    config 4096x1  [   0..2047]  coeffs      (depth-row)
+//
+// Shared blocks (lifetime-disjoint structures time-multiplexing one
+// region) are rendered as stacked entries on the same range.
+#pragma once
+
+#include <iosfwd>
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "mapping/types.hpp"
+
+namespace gmm::report {
+
+void write_placement_report(std::ostream& out, const design::Design& design,
+                            const arch::Board& board,
+                            const mapping::DetailedMapping& mapping);
+
+std::string placement_report_to_string(const design::Design& design,
+                                       const arch::Board& board,
+                                       const mapping::DetailedMapping& mapping);
+
+}  // namespace gmm::report

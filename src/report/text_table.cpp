@@ -1,0 +1,94 @@
+#include "report/text_table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace gmm::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      align_(headers_.size(), Align::kRight) {
+  GMM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::set_alignment(std::size_t column, Align align) {
+  GMM_ASSERT(column < align_.size(), "alignment column out of range");
+  align_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GMM_ASSERT(cells.size() == headers_.size(),
+             "row width does not match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  const auto print_cell = [&](const std::string& text, std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (align_[c] == Align::kRight) {
+      out << std::string(pad, ' ') << text;
+    } else {
+      out << text << std::string(pad, ' ');
+    }
+  };
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << (c == 0 ? "+" : "+") << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  rule();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << "| ";
+    print_cell(headers_[c], c);
+    out << " ";
+  }
+  out << "|\n";
+  rule();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << "| ";
+      print_cell(row[c], c);
+      out << " ";
+    }
+    out << "|\n";
+  }
+  rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+void TextTable::print_csv(std::ostream& out) const {
+  const auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      if (cells[c].find_first_of(",\"") != std::string::npos) {
+        out << '"';
+        for (const char ch : cells[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace gmm::report

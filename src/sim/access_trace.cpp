@@ -1,0 +1,78 @@
+#include "sim/access_trace.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::sim {
+
+namespace {
+
+std::int64_t address_for(AddressPattern pattern, std::int64_t index,
+                         std::int64_t depth, std::int64_t stride,
+                         support::Rng& rng) {
+  switch (pattern) {
+    case AddressPattern::kSequential:
+      return index % depth;
+    case AddressPattern::kStrided:
+      return (index * stride) % depth;
+    case AddressPattern::kRandom:
+      return rng.uniform_int(0, depth - 1);
+  }
+  GMM_ASSERT(false, "bad address pattern");
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Access> generate_trace(const design::Design& design,
+                                   const TraceOptions& options) {
+  support::Rng rng(options.seed);
+
+  // Per-structure access budgets, scaled to the cap.
+  std::int64_t total = 0;
+  std::vector<std::int64_t> reads(design.size()), writes(design.size());
+  for (std::size_t d = 0; d < design.size(); ++d) {
+    reads[d] = design.at(d).effective_reads();
+    writes[d] = design.at(d).effective_writes();
+    total += reads[d] + writes[d];
+  }
+  if (total > options.max_accesses && total > 0) {
+    const double scale =
+        static_cast<double>(options.max_accesses) / static_cast<double>(total);
+    for (std::size_t d = 0; d < design.size(); ++d) {
+      reads[d] = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(static_cast<double>(reads[d]) * scale));
+      writes[d] = std::max<std::int64_t>(
+          1,
+          static_cast<std::int64_t>(static_cast<double>(writes[d]) * scale));
+    }
+  }
+
+  // Emit per-structure streams (writes first touch, then reads — a
+  // producer/consumer flavour), then interleave deterministically.
+  std::vector<Access> trace;
+  std::vector<std::int64_t> next_index(design.size(), 0);
+  for (std::size_t d = 0; d < design.size(); ++d) {
+    const std::int64_t depth = design.at(d).depth;
+    for (std::int64_t k = 0; k < writes[d]; ++k) {
+      trace.push_back(Access{static_cast<std::uint32_t>(d),
+                             address_for(options.pattern, k, depth,
+                                         options.stride, rng),
+                             true});
+    }
+    for (std::int64_t k = 0; k < reads[d]; ++k) {
+      trace.push_back(Access{static_cast<std::uint32_t>(d),
+                             address_for(options.pattern, k, depth,
+                                         options.stride, rng),
+                             false});
+    }
+  }
+  // Deterministic interleave: shuffle preserves per-structure counts while
+  // mixing structures the way a scheduled datapath would.
+  rng.shuffle(trace);
+  return trace;
+}
+
+}  // namespace gmm::sim

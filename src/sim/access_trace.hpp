@@ -1,0 +1,47 @@
+// Synthetic memory-access traces.
+//
+// The paper's cost model scores a mapping by per-structure access counts;
+// the simulator replays an explicit access stream against the placed
+// memories to validate that score against cycle-level behaviour.  Since
+// the original applications are unavailable, traces are synthesized per
+// structure from its (reads, writes) footprint under a chosen address
+// pattern, then interleaved into one processing-unit program order with a
+// deterministic weighted shuffle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "design/design.hpp"
+
+namespace gmm::sim {
+
+enum class AddressPattern : std::uint8_t {
+  kSequential,  // streaming: 0, 1, 2, ... (line buffers, filters)
+  kStrided,     // fixed stride mod depth (matrix columns, interleaving)
+  kRandom,      // uniform random words (lookup tables)
+};
+
+/// One memory access of the processing unit's program order.
+struct Access {
+  std::uint32_t ds = 0;      // data-structure index
+  std::int64_t word = 0;     // word address within the structure
+  bool is_write = false;
+};
+
+struct TraceOptions {
+  AddressPattern pattern = AddressPattern::kSequential;
+  std::int64_t stride = 7;  // for kStrided
+  /// Cap on total accesses; structure footprints are scaled down
+  /// proportionally when they exceed it (keeps sim time bounded).
+  std::int64_t max_accesses = 200'000;
+  std::uint64_t seed = 1;
+};
+
+/// Build the interleaved access stream for a design.  Each structure
+/// contributes effective_reads() reads and effective_writes() writes
+/// (scaled under max_accesses), addressed by `pattern`.
+std::vector<Access> generate_trace(const design::Design& design,
+                                   const TraceOptions& options = {});
+
+}  // namespace gmm::sim

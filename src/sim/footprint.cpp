@@ -1,0 +1,29 @@
+#include "sim/footprint.hpp"
+
+#include "support/assert.hpp"
+
+namespace gmm::sim {
+
+design::Design with_trace_footprints(const design::Design& design,
+                                     const std::vector<Access>& trace) {
+  std::vector<std::int64_t> reads(design.size(), 0);
+  std::vector<std::int64_t> writes(design.size(), 0);
+  for (const Access& access : trace) {
+    GMM_ASSERT(access.ds < design.size(), "trace references unknown structure");
+    (access.is_write ? writes : reads)[access.ds] += 1;
+  }
+
+  design::Design result(design.name() + ".profiled");
+  for (std::size_t d = 0; d < design.size(); ++d) {
+    design::DataStructure ds = design.at(d);
+    ds.reads = std::max<std::int64_t>(1, reads[d]);
+    ds.writes = std::max<std::int64_t>(1, writes[d]);
+    result.add(std::move(ds));
+  }
+  for (const auto& [a, b] : design.conflict_pairs()) {
+    result.add_conflict(a, b);
+  }
+  return result;
+}
+
+}  // namespace gmm::sim

@@ -1,0 +1,24 @@
+// Trace-driven footprint analysis.
+//
+// Paper, Section 3.2: "A footprint analysis of the memory accesses could
+// tremendously help in guiding the mapping process: e.g. data segments
+// that are extensively accessed should be assigned to faster and closer
+// physical banks."  This closes that loop: count the per-structure reads
+// and writes of an access trace and return a design whose footprints
+// carry them, so the cost model weighs hot structures accordingly.
+#pragma once
+
+#include <vector>
+
+#include "design/design.hpp"
+#include "sim/access_trace.hpp"
+
+namespace gmm::sim {
+
+/// Copy of `design` with reads/writes replaced by the trace's counts.
+/// Structures the trace never touches get footprint 1/1 (accessible but
+/// cold), so the cost model deprioritizes rather than ignores them.
+design::Design with_trace_footprints(const design::Design& design,
+                                     const std::vector<Access>& trace);
+
+}  // namespace gmm::sim

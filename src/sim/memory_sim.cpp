@@ -1,0 +1,177 @@
+#include "sim/memory_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "mapping/preprocess.hpp"
+#include "support/arithmetic.hpp"
+#include "support/assert.hpp"
+
+namespace gmm::sim {
+
+namespace {
+
+/// Pin-traversal penalty in cycles (this reproduction's modeling choice;
+/// see the header comment).
+std::int64_t pin_penalty(std::int64_t pins) {
+  return support::ceil_div(pins, 2);
+}
+
+/// Row-resolved placement of one structure: which placed fragments hold
+/// each depth-row of the Figure-2 grid.
+struct StructureLayout {
+  std::size_t type = 0;
+  std::int64_t d_alpha = 1;    // words per full row
+  std::int64_t full_rows = 0;  // rows covered by full/width-column pieces
+  // fragments[row] = the placed fragments striped across that row.
+  std::vector<std::vector<const mapping::PlacedFragment*>> rows;
+};
+
+StructureLayout build_layout(const design::DataStructure& ds,
+                             const arch::Board& board,
+                             std::vector<const mapping::PlacedFragment*>
+                                 fragments) {
+  GMM_ASSERT(!fragments.empty(), "structure with no placed fragments");
+  StructureLayout layout;
+  layout.type = fragments.front()->type;
+  const mapping::PlacementPlan plan =
+      mapping::plan_placement(ds, board.type(layout.type));
+
+  // Bucket placed fragments by kind, in placement order (fragments of a
+  // kind are interchangeable, so a canonical order is fine).
+  std::vector<const mapping::PlacedFragment*> full, wcol, drow, corner;
+  for (const mapping::PlacedFragment* f : fragments) {
+    switch (f->kind) {
+      case mapping::FragmentKind::kFull:
+        full.push_back(f);
+        break;
+      case mapping::FragmentKind::kWidthColumn:
+        wcol.push_back(f);
+        break;
+      case mapping::FragmentKind::kDepthRow:
+        drow.push_back(f);
+        break;
+      case mapping::FragmentKind::kCorner:
+        corner.push_back(f);
+        break;
+    }
+  }
+
+  layout.d_alpha = board.type(layout.type).configs[plan.alpha].depth;
+  layout.full_rows = ds.depth / layout.d_alpha;
+  const std::int64_t cols =
+      layout.full_rows > 0
+          ? static_cast<std::int64_t>(full.size()) / layout.full_rows
+          : 0;
+  GMM_ASSERT(static_cast<std::int64_t>(full.size()) ==
+                 layout.full_rows * cols,
+             "placed full fragments do not tile the structure grid");
+
+  const bool has_remainder_row = ds.depth % layout.d_alpha != 0;
+  layout.rows.resize(layout.full_rows + (has_remainder_row ? 1 : 0));
+  for (std::int64_t r = 0; r < layout.full_rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      layout.rows[r].push_back(full[r * cols + c]);
+    }
+    if (!wcol.empty()) layout.rows[r].push_back(wcol[r]);
+  }
+  if (has_remainder_row) {
+    auto& last = layout.rows.back();
+    for (const mapping::PlacedFragment* f : drow) last.push_back(f);
+    for (const mapping::PlacedFragment* f : corner) last.push_back(f);
+  }
+  for (const auto& row : layout.rows) {
+    GMM_ASSERT(!row.empty(), "layout row without fragments");
+  }
+  return layout;
+}
+
+}  // namespace
+
+SimReport simulate(const arch::Board& board, const design::Design& design,
+                   const mapping::DetailedMapping& mapping,
+                   const std::vector<Access>& trace,
+                   const SimOptions& options) {
+  GMM_ASSERT(mapping.success, "cannot simulate a failed mapping");
+  GMM_ASSERT(options.issue_width >= 1, "issue width must be positive");
+
+  SimReport report;
+  report.per_type.resize(board.num_types());
+
+  // Group fragments per structure and resolve row layouts.
+  std::vector<std::vector<const mapping::PlacedFragment*>> by_ds(
+      design.size());
+  for (const mapping::PlacedFragment& f : mapping.fragments) {
+    by_ds[f.ds].push_back(&f);
+  }
+  std::vector<StructureLayout> layouts;
+  layouts.reserve(design.size());
+  for (std::size_t d = 0; d < design.size(); ++d) {
+    layouts.push_back(build_layout(design.at(d), board, by_ds[d]));
+  }
+
+  // Port timeline: next-free cycle per (type, instance, port).
+  std::vector<std::vector<std::int64_t>> port_free(board.num_types());
+  for (std::size_t t = 0; t < board.num_types(); ++t) {
+    port_free[t].assign(static_cast<std::size_t>(board.type(t).instances *
+                                                 board.type(t).ports),
+                        0);
+  }
+
+  std::int64_t issue_cycle = 0;
+  int issued_this_cycle = 0;
+  for (const Access& access : trace) {
+    const StructureLayout& layout = layouts[access.ds];
+    const arch::BankType& type = board.type(layout.type);
+    const std::int64_t row =
+        std::min<std::int64_t>(access.word / layout.d_alpha,
+                               static_cast<std::int64_t>(layout.rows.size()) -
+                                   1);
+
+    const std::int64_t service =
+        (access.is_write ? type.write_latency : type.read_latency) +
+        pin_penalty(type.pins_traversed);
+
+    // The word is striped over every fragment of its row; claim the
+    // earliest-free port inside each fragment's range.
+    std::int64_t start = issue_cycle;
+    std::vector<std::size_t> chosen_ports;
+    chosen_ports.reserve(layout.rows[row].size());
+    for (const mapping::PlacedFragment* f : layout.rows[row]) {
+      std::size_t best_slot = 0;
+      std::int64_t best_free = std::numeric_limits<std::int64_t>::max();
+      for (std::int64_t p = f->first_port; p < f->first_port + f->ports;
+           ++p) {
+        const std::size_t slot =
+            static_cast<std::size_t>(f->instance * type.ports + p);
+        if (port_free[layout.type][slot] < best_free) {
+          best_free = port_free[layout.type][slot];
+          best_slot = slot;
+        }
+      }
+      chosen_ports.push_back(best_slot);
+      start = std::max(start, best_free);
+    }
+    const std::int64_t completion = start + service;
+    for (const std::size_t slot : chosen_ports) {
+      port_free[layout.type][slot] = completion;  // non-pipelined port
+    }
+
+    report.accesses += 1;
+    report.latency_sum += service;
+    report.stall_cycles += start - issue_cycle;
+    report.total_cycles = std::max(report.total_cycles, completion);
+    report.per_type[layout.type].accesses += 1;
+    report.per_type[layout.type].latency_cycles += service;
+
+    if (++issued_this_cycle >= options.issue_width) {
+      issued_this_cycle = 0;
+      ++issue_cycle;
+    }
+  }
+  report.total_cycles = std::max(report.total_cycles, issue_cycle);
+  return report;
+}
+
+}  // namespace gmm::sim

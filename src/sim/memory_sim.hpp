@@ -1,0 +1,61 @@
+// Cycle-approximate memory simulator.
+//
+// Replays an access trace against a detailed mapping on a board and
+// accounts, per access:
+//   * bank latency — RL_t cycles per read, WL_t per write,
+//   * pin-traversal delay — ceil(T_t / 2) extra cycles each way is the
+//     modeling choice of this reproduction (the paper only states that
+//     pins traversed are "inversely proportional to the clock speed"),
+//   * port contention — an access to a word of structure d occupies one
+//     port on EVERY instance holding a column fragment of that word's
+//     row (the physical word is striped across column fragments); ports
+//     are modeled as non-pipelined, busy for the access's full latency.
+//
+// The processing unit issues up to `issue_width` accesses per cycle, in
+// program order.  The simulator reports the makespan, the latency sum
+// (the quantity the paper's latency + pin-delay costs approximate), and
+// contention stalls, so benches can check that mappings ranked better by
+// the ILP objective really simulate faster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "mapping/types.hpp"
+#include "sim/access_trace.hpp"
+
+namespace gmm::sim {
+
+struct SimOptions {
+  /// Accesses the processing unit may issue per cycle.
+  int issue_width = 4;
+};
+
+struct TypeStats {
+  std::int64_t accesses = 0;
+  std::int64_t latency_cycles = 0;  // sum over accesses
+};
+
+struct SimReport {
+  std::int64_t total_cycles = 0;    // makespan
+  std::int64_t accesses = 0;
+  std::int64_t latency_sum = 0;     // sum of per-access service latencies
+  std::int64_t stall_cycles = 0;    // port-contention wait, summed
+  std::vector<TypeStats> per_type;  // indexed by bank type
+
+  [[nodiscard]] double average_latency() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(latency_sum) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Simulate `trace` against a legal detailed mapping.
+SimReport simulate(const arch::Board& board, const design::Design& design,
+                   const mapping::DetailedMapping& mapping,
+                   const std::vector<Access>& trace,
+                   const SimOptions& options = {});
+
+}  // namespace gmm::sim

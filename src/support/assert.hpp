@@ -1,0 +1,37 @@
+// Lightweight always-on assertion macros.
+//
+// GMM_ASSERT fires in all build types: the mapping pipeline is built on
+// combinatorial invariants (port counts, capacity ceilings, basis
+// consistency) whose violation means a wrong answer, not a slow one, so we
+// never compile the checks out.  GMM_DEBUG_ASSERT is for hot-loop checks
+// that are too expensive for Release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmm::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "gmm: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace gmm::support
+
+#define GMM_ASSERT(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::gmm::support::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                               \
+  } while (false)
+
+#ifndef NDEBUG
+#define GMM_DEBUG_ASSERT(expr, msg) GMM_ASSERT(expr, msg)
+#else
+#define GMM_DEBUG_ASSERT(expr, msg) \
+  do {                              \
+  } while (false)
+#endif

@@ -1,0 +1,44 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace gmm::support {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock(g_write_mutex);
+  std::fprintf(stderr, "[gmm %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace gmm::support

@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// The solver and mappers log progress (B&B incumbents, presolve reductions,
+// detailed-mapping fragmentation) at Debug/Info; benches run at Warn so the
+// paper-style tables stay clean.  Thread-safe: each message is formatted
+// into one string and written with a single mutex-guarded call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gmm::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line (internal; prefer the GMM_LOG macro).
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace gmm::support
+
+/// Usage: GMM_LOG(kInfo) << "presolve removed " << n << " rows";
+#define GMM_LOG(level_name)                                                  \
+  for (bool gmm_log_once =                                                   \
+           ::gmm::support::log_level() <= ::gmm::support::LogLevel::level_name; \
+       gmm_log_once; gmm_log_once = false)                                   \
+  ::gmm::support::LogStream(::gmm::support::LogLevel::level_name)
+
+namespace gmm::support {
+
+/// RAII stream that flushes its buffer as one log line on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, buffer_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace gmm::support

@@ -1,0 +1,67 @@
+// Deterministic, platform-independent pseudo-random numbers.
+//
+// std::mt19937 with std::uniform_int_distribution is not guaranteed to
+// produce identical streams across standard libraries, which would make
+// the workload generator non-reproducible.  We therefore ship our own
+// xoshiro256** generator (Blackman & Vigna) plus bias-free bounded draws,
+// seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gmm::support {
+
+/// xoshiro256** PRNG.  Fast, 256-bit state, passes BigCrush; every stream
+/// is fully determined by the 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive (lo <= hi), bias-free.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  /// Uniformly pick an index in [0, n).
+  std::size_t index(std::size_t n) {
+    GMM_ASSERT(n > 0, "cannot pick from empty range");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Pick a random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent child seed; used to give each generated design
+  /// point its own stream so points do not perturb each other.
+  std::uint64_t fork_seed() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace gmm::support

@@ -1,0 +1,32 @@
+// Small string helpers shared by the text-format parsers and reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmm::support {
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Fixed-width decimal formatting with the given number of fractional
+/// digits ("12.3", "0.04"); used by the paper-style tables.
+std::string format_fixed(double value, int digits);
+
+/// Parse a non-negative integer; returns false on any non-digit input.
+bool parse_int(std::string_view s, std::int64_t& out);
+
+/// Parse a double; returns false on malformed input.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace gmm::support

@@ -1,0 +1,83 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace gmm::support {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  GMM_ASSERT(task != nullptr, "null task submitted to ThreadPool");
+  {
+    const std::scoped_lock lock(mutex_);
+    GMM_ASSERT(!stopping_, "submit after ThreadPool shutdown");
+    queue_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      const std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Block-cyclic chunking: one task per worker scanning a shared counter
+  // would serialize on tiny bodies; instead carve [0, count) into
+  // contiguous chunks, a few per worker for load balance.
+  const std::size_t chunks =
+      std::min(count, pool.worker_count() * std::size_t{4});
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(count, begin + chunk_size);
+    if (begin >= end) break;
+    pool.submit([begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace gmm::support

@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a parallel_for convenience wrapper.
+//
+// Used for the embarrassingly-parallel layers of the system: per-bank-type
+// detailed mapping, Table-3 design-point sweeps, and the simulator's
+// per-trace replay.  Tasks are type-erased closures on a single locked
+// queue; for our task granularities (milliseconds to minutes) queue
+// contention is irrelevant, so we prefer the simple, obviously-correct
+// structure over work stealing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gmm::support {
+
+class ThreadPool {
+ public:
+  /// Spawn `worker_count` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Tasks must not throw; exceptions abort the process
+  /// (solver tasks report failure through their own result channels).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool, blocking until done.
+/// Iterations must be independent; `body` is shared by all workers and so
+/// must be callable concurrently.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace gmm::support

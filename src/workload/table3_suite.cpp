@@ -1,0 +1,34 @@
+#include "workload/table3_suite.hpp"
+
+#include "support/assert.hpp"
+
+namespace gmm::workload {
+
+const std::vector<Table3Point>& table3_points() {
+  static const std::vector<Table3Point> points = {
+      {1, 22, {13, 25, 50}, 8.1, 7.8},
+      {2, 32, {23, 45, 100}, 29.4, 25.3},
+      {3, 32, {45, 77, 150}, 99.3, 50.7},
+      {4, 42, {45, 77, 150}, 130.4, 59.2},
+      {5, 32, {65, 105, 150}, 172.7, 105.1},
+      {6, 62, {65, 105, 150}, 411.0, 140.4},
+      {7, 32, {180, 265, 375}, 518.3, 216.4},
+      {8, 62, {180, 265, 375}, 1225.0, 309.0},
+      {9, 132, {180, 265, 375}, 2989.0, 489.0},
+  };
+  return points;
+}
+
+Table3Instance build_instance(const Table3Point& point, std::uint64_t seed) {
+  auto board = board_from_totals(point.totals);
+  GMM_ASSERT(board.has_value(),
+             "Table-3 totals not realizable by the board template");
+  DesignGenOptions options;
+  options.num_segments = point.segments;
+  options.seed = seed + static_cast<std::uint64_t>(point.index);
+  options.all_conflicting = true;
+  design::Design design = generate_design(*board, options);
+  return Table3Instance{point, std::move(*board), std::move(design)};
+}
+
+}  // namespace gmm::workload

@@ -1,0 +1,40 @@
+// The nine canonical experiment points of the paper's Table 3.
+//
+// Each point is identified by the four complexity totals the paper
+// reports: (#segments, #banks, #ports, #configs), together with the
+// execution times measured by the authors on a SUN Ultra-30 (248 MHz) —
+// kept here so benches can print paper-vs-measured side by side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+#include "workload/workload_gen.hpp"
+
+namespace gmm::workload {
+
+struct Table3Point {
+  int index = 0;            // 1-based row number in the paper
+  std::int64_t segments = 0;
+  BoardTotals totals;
+  double paper_complete_seconds = 0.0;  // Table 3, "Complete Approach"
+  double paper_global_seconds = 0.0;    // Table 3, "Global Approach"
+};
+
+/// All nine rows of Table 3 in order.
+const std::vector<Table3Point>& table3_points();
+
+/// Instantiate a point: the board realizing its totals plus a seeded
+/// design with its segment count (all-conflicting, as in the paper).
+struct Table3Instance {
+  Table3Point point;
+  arch::Board board;
+  design::Design design;
+};
+
+Table3Instance build_instance(const Table3Point& point,
+                              std::uint64_t seed = 2001);
+
+}  // namespace gmm::workload

@@ -1,0 +1,234 @@
+#include "workload/workload_gen.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mapping/preprocess.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::workload {
+
+namespace {
+
+/// The five standard Altera/Xilinx-style configurations of a bank with
+/// `bits` capacity (depth halves as width doubles, 1..16 bits wide).
+std::vector<arch::BankConfig> five_configs(std::int64_t bits) {
+  std::vector<arch::BankConfig> configs;
+  for (std::int64_t width = 1; width <= 16; width *= 2) {
+    configs.push_back({bits / width, width});
+  }
+  return configs;
+}
+
+}  // namespace
+
+std::optional<arch::Board> board_from_totals(const BoardTotals& totals) {
+  // Solve i1+i2+i3+i4 = B; 2 i1+i2+2 i3+i4 = P; 10 i1 + 5 i2 = C with all
+  // i >= 0.  The port excess P-B equals the number of dual-ported
+  // instances i1+i3; maximize i1 (on-chip multi-config) first.
+  const std::int64_t dual = totals.ports - totals.banks;
+  if (dual < 0 || totals.configs % 5 != 0) return std::nullopt;
+  for (std::int64_t i1 = std::min(totals.configs / 10, dual); i1 >= 0;
+       --i1) {
+    const std::int64_t i2 = (totals.configs - 10 * i1) / 5;
+    const std::int64_t i3 = dual - i1;
+    const std::int64_t i4 = totals.banks - i1 - i2 - i3;
+    if (i2 < 0 || i4 < 0) continue;
+
+    arch::Board board("synthetic." + std::to_string(totals.banks) + "b" +
+                      std::to_string(totals.ports) + "p" +
+                      std::to_string(totals.configs) + "c");
+    if (i1 > 0) {
+      arch::BankType t;
+      t.name = "onchip.dual";
+      t.instances = i1;
+      t.ports = 2;
+      t.configs = five_configs(4096);
+      t.read_latency = 1;
+      t.write_latency = 1;
+      t.pins_traversed = 0;
+      board.add_bank_type(t);
+    }
+    if (i2 > 0) {
+      arch::BankType t;
+      t.name = "onchip.single";
+      t.instances = i2;
+      t.ports = 1;
+      t.configs = five_configs(2048);
+      t.read_latency = 1;
+      t.write_latency = 1;
+      t.pins_traversed = 0;
+      board.add_bank_type(t);
+    }
+    if (i3 > 0) {
+      arch::BankType t;
+      t.name = "offchip.dual";
+      t.instances = i3;
+      t.ports = 2;
+      t.configs = {{16384, 16}};
+      t.read_latency = 2;
+      t.write_latency = 2;
+      t.pins_traversed = 2;
+      board.add_bank_type(t);
+    }
+    if (i4 > 0) {
+      arch::BankType t;
+      t.name = "offchip.single";
+      t.instances = i4;
+      t.ports = 1;
+      t.configs = {{32768, 32}};
+      t.read_latency = 3;
+      t.write_latency = 2;
+      t.pins_traversed = 4;
+      board.add_bank_type(t);
+    }
+    GMM_ASSERT(board.total_banks() == totals.banks &&
+                   board.total_ports() == totals.ports &&
+                   board.total_configs() == totals.configs,
+               "board template failed to hit the requested totals");
+    return board;
+  }
+  return std::nullopt;
+}
+
+design::Design generate_design(const arch::Board& board,
+                               const DesignGenOptions& options) {
+  support::Rng rng(options.seed);
+  design::Design result("synthetic." +
+                        std::to_string(options.num_segments) + "seg");
+
+  // Per-type reservation budgets.  Reserving every segment on a concrete
+  // type is a constructive witness that the global ILP is feasible (the
+  // reservation itself satisfies the all-conflicting aggregate port and
+  // capacity constraints).  The utilization targets scale the budgets,
+  // but never below the hard floor of one port per segment — the paper's
+  // smallest point runs 22 segments against 25 ports, close to that
+  // floor already.
+  std::int64_t port_budget = 0;
+  for (const arch::BankType& t : board.types()) {
+    port_budget += t.total_ports();
+  }
+  GMM_ASSERT(options.num_segments <= port_budget,
+             "more segments than ports on the board");
+  const double floor_scale =
+      static_cast<double>(options.num_segments +
+                          std::max<std::int64_t>(2,
+                                                 options.num_segments / 10)) /
+      static_cast<double>(port_budget);
+  const double port_scale = std::min(
+      1.0, std::max(options.target_port_utilization, floor_scale));
+  const double bit_scale = std::min(
+      1.0, std::max(options.target_bit_utilization, floor_scale));
+
+  // Hard (full) budgets — the reservation witness must respect these —
+  // plus soft (target-scaled) budgets used only as a preference.
+  std::vector<std::int64_t> hard_ports(board.num_types());
+  std::vector<std::int64_t> hard_bits(board.num_types());
+  std::vector<std::int64_t> soft_ports(board.num_types());
+  std::vector<std::int64_t> soft_bits(board.num_types());
+  std::int64_t sum_hard_ports = 0;
+  for (std::size_t t = 0; t < board.num_types(); ++t) {
+    hard_ports[t] = board.type(t).total_ports();
+    hard_bits[t] = board.type(t).total_bits();
+    soft_ports[t] = static_cast<std::int64_t>(
+        port_scale * static_cast<double>(hard_ports[t]));
+    soft_bits[t] = static_cast<std::int64_t>(
+        bit_scale * static_cast<double>(hard_bits[t]));
+    sum_hard_ports += hard_ports[t];
+  }
+
+  // Reserve a segment on some type; returns the chosen type or -1.
+  // `future_floor` ports must remain across the board afterwards (one
+  // per yet-ungenerated segment), so early fat segments cannot starve
+  // later ones.  Types within the soft budget are preferred; among them,
+  // the one with the most remaining port headroom.
+  const auto reserve = [&](const design::DataStructure& ds,
+                           std::int64_t future_floor) {
+    int best = -1;
+    bool best_soft = false;
+    double best_headroom = -1.0;
+    mapping::PlacementPlan best_plan;
+    for (std::size_t t = 0; t < board.num_types(); ++t) {
+      const mapping::PlacementPlan plan =
+          mapping::plan_placement(ds, board.type(t));
+      if (!plan.feasible || plan.cp > hard_ports[t] ||
+          plan.cw * plan.cd > hard_bits[t]) {
+        continue;
+      }
+      if (sum_hard_ports - plan.cp < future_floor) continue;
+      const bool soft = plan.cp <= soft_ports[t] &&
+                        plan.cw * plan.cd <= soft_bits[t];
+      const double headroom =
+          static_cast<double>(hard_ports[t]) /
+          static_cast<double>(board.type(t).total_ports());
+      if ((soft && !best_soft) ||
+          (soft == best_soft && headroom > best_headroom)) {
+        best = static_cast<int>(t);
+        best_soft = soft;
+        best_headroom = headroom;
+        best_plan = plan;
+      }
+    }
+    if (best >= 0) {
+      hard_ports[best] -= best_plan.cp;
+      hard_bits[best] -= best_plan.cw * best_plan.cd;
+      soft_ports[best] -= best_plan.cp;
+      soft_bits[best] -= best_plan.cw * best_plan.cd;
+      sum_hard_ports -= best_plan.cp;
+    }
+    return best;
+  };
+
+  for (std::int64_t i = 0; i < options.num_segments; ++i) {
+    design::DataStructure ds;
+    ds.name = "seg" + std::to_string(i);
+    // Signal/image-processing mix: mostly small coefficient tables and
+    // line buffers, a tail of large frame-like arrays.
+    const double shape = rng.uniform_real();
+    if (shape < 0.4) {
+      ds.depth = rng.uniform_int(8, 256);     // coefficients, windows
+    } else if (shape < 0.8) {
+      ds.depth = rng.uniform_int(256, 2048);  // line buffers
+    } else {
+      ds.depth = rng.uniform_int(2048, 16384);  // frames, lookup tables
+    }
+    const std::int64_t widths[] = {1, 2, 4, 8, 12, 16, 24, 32};
+    ds.width = widths[rng.index(std::size(widths))];
+    if (!options.paper_access_model) {
+      ds.reads = rng.uniform_int(ds.depth, ds.depth * 64);
+      ds.writes = rng.uniform_int(ds.depth / 2 + 1, ds.depth * 8);
+    }
+    if (!options.all_conflicting) {
+      const std::int64_t start = rng.uniform_int(0, 400);
+      ds.lifetime =
+          design::Lifetime{start, start + rng.uniform_int(10, 200)};
+    }
+
+    // Shrink until the segment reserves somewhere.  The future floor
+    // keeps one port per remaining segment, and a minimal 8x1 table
+    // costs exactly one port on any type, so termination is guaranteed
+    // as long as the board has at least num_segments ports (asserted
+    // above).
+    const std::int64_t future_floor = options.num_segments - i - 1;
+    while (reserve(ds, future_floor) < 0) {
+      GMM_ASSERT(ds.depth > 8 || ds.width > 1,
+                 "workload generator cannot place even a minimal segment");
+      if (ds.depth > 8) {
+        ds.depth = std::max<std::int64_t>(8, ds.depth / 2);
+      } else {
+        ds.width = std::max<std::int64_t>(1, ds.width / 2);
+      }
+    }
+    result.add(std::move(ds));
+  }
+
+  if (options.all_conflicting) {
+    result.set_all_conflicting();
+  } else {
+    result.derive_conflicts_from_lifetimes();
+  }
+  return result;
+}
+
+}  // namespace gmm::workload

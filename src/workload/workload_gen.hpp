@@ -1,0 +1,60 @@
+// Seeded synthetic board and design generation.
+//
+// Table 3 characterizes each experiment point by four complexity totals:
+// number of logical segments, total physical banks, total ports, and
+// total configuration settings (over multi-configuration ports).  The
+// board builder here reproduces any such (banks, ports, configs) triple
+// exactly with a four-type template modeled on the paper's hardware:
+//
+//   T1: on-chip dual-ported 5-configuration RAM (Virtex BlockRAM style)
+//   T2: on-chip single-ported 5-configuration RAM (FLEX EAB style)
+//   T3: off-chip dual-ported fixed-configuration SRAM
+//   T4: off-chip single-ported fixed-configuration SRAM (farther away)
+//
+// Instance counts (i1..i4) solve  i1+i2+i3+i4 = banks,
+// 2*i1+i2+2*i3+i4 = ports, 10*i1+5*i2 = configs; the design generator
+// draws signal/image-processing-shaped segments (coefficient tables,
+// line buffers, frames) and rescales until the aggregate port/capacity
+// load fits a target utilization of the board.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/board.hpp"
+#include "design/design.hpp"
+
+namespace gmm::workload {
+
+struct BoardTotals {
+  std::int64_t banks = 0;
+  std::int64_t ports = 0;
+  std::int64_t configs = 0;
+};
+
+/// Build a board matching the exact complexity totals.  Returns nullopt
+/// when the template cannot realize the triple (e.g. ports < banks).
+std::optional<arch::Board> board_from_totals(const BoardTotals& totals);
+
+struct DesignGenOptions {
+  std::int64_t num_segments = 32;
+  std::uint64_t seed = 1;
+  /// Fraction of the board's aggregate port budget the design may load.
+  double target_port_utilization = 0.6;
+  /// Fraction of the board's aggregate bit capacity the design may load.
+  double target_bit_utilization = 0.5;
+  /// All pairs conflict (the Table-3 setting).  When false, random
+  /// lifetimes are attached and conflicts derived from them.
+  bool all_conflicting = true;
+  /// Use the paper's access assumption (reads = writes = depth, i.e. no
+  /// explicit footprints).  When false, random read/write footprints are
+  /// attached — useful for simulator benches, but the unstructured costs
+  /// make the ILPs considerably harder than anything the paper ran.
+  bool paper_access_model = true;
+};
+
+/// Draw a design sized to fit `board` under the utilization targets.
+design::Design generate_design(const arch::Board& board,
+                               const DesignGenOptions& options);
+
+}  // namespace gmm::workload

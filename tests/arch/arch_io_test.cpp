@@ -1,0 +1,84 @@
+#include "arch/arch_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/device_catalog.hpp"
+
+namespace gmm::arch {
+namespace {
+
+TEST(ArchIo, ParsesMinimalBoard) {
+  const BoardParseResult r = parse_board_string(R"(
+# a comment
+board demo
+banktype blockram instances 8 ports 2 rl 1 wl 1 pins 0
+config 4096 1
+config 256 16
+end
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.board.name(), "demo");
+  ASSERT_EQ(r.board.num_types(), 1u);
+  EXPECT_EQ(r.board.type(0).name, "blockram");
+  EXPECT_EQ(r.board.type(0).instances, 8);
+  EXPECT_EQ(r.board.type(0).ports, 2);
+  ASSERT_EQ(r.board.type(0).configs.size(), 2u);
+  EXPECT_EQ(r.board.type(0).configs[1], (BankConfig{256, 16}));
+}
+
+TEST(ArchIo, RoundTripsPresetBoards) {
+  for (const char* device : {"XCV50", "XCV1000", "EPF10K70", "EP20K400E"}) {
+    const Board original = hierarchical_board(device);
+    const BoardParseResult reparsed =
+        parse_board_string(board_to_string(original));
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    EXPECT_EQ(reparsed.board.name(), original.name());
+    ASSERT_EQ(reparsed.board.num_types(), original.num_types());
+    for (std::size_t t = 0; t < original.num_types(); ++t) {
+      EXPECT_EQ(reparsed.board.type(t).name, original.type(t).name);
+      EXPECT_EQ(reparsed.board.type(t).instances, original.type(t).instances);
+      EXPECT_EQ(reparsed.board.type(t).ports, original.type(t).ports);
+      EXPECT_EQ(reparsed.board.type(t).configs, original.type(t).configs);
+      EXPECT_EQ(reparsed.board.type(t).read_latency,
+                original.type(t).read_latency);
+      EXPECT_EQ(reparsed.board.type(t).write_latency,
+                original.type(t).write_latency);
+      EXPECT_EQ(reparsed.board.type(t).pins_traversed,
+                original.type(t).pins_traversed);
+    }
+  }
+}
+
+TEST(ArchIo, RejectsUnknownDirective) {
+  const BoardParseResult r = parse_board_string("frobnicate yes\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+}
+
+TEST(ArchIo, RejectsConfigOutsideBankType) {
+  const BoardParseResult r = parse_board_string("config 16 8\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ArchIo, RejectsUnterminatedBankType) {
+  const BoardParseResult r = parse_board_string(
+      "banktype b instances 1 ports 1 rl 1 wl 1 pins 0\nconfig 16 8\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unterminated"), std::string::npos);
+}
+
+TEST(ArchIo, RejectsInvalidBankTypeOnEnd) {
+  // Non-pow2 depth must be rejected at the 'end' marker.
+  const BoardParseResult r = parse_board_string(
+      "banktype b instances 1 ports 1 rl 1 wl 1 pins 0\nconfig 100 8\nend\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ArchIo, RejectsBadInteger) {
+  const BoardParseResult r = parse_board_string(
+      "banktype b instances eight ports 1 rl 1 wl 1 pins 0\n");
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace gmm::arch

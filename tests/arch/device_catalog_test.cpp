@@ -1,0 +1,97 @@
+#include "arch/device_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmm::arch {
+namespace {
+
+// Table 1 of the paper: family-level RAM counts, sizes, configurations.
+
+TEST(DeviceCatalog, VirtexRangeMatchesTable1) {
+  const auto smallest = find_device("XCV50");
+  const auto largest = find_device("XCV3200E");
+  ASSERT_TRUE(smallest.has_value());
+  ASSERT_TRUE(largest.has_value());
+  EXPECT_EQ(smallest->ram_banks, 8);
+  EXPECT_EQ(largest->ram_banks, 208);
+  EXPECT_EQ(smallest->ram_bits, 4096);
+  EXPECT_EQ(smallest->ram_name, "BlockRAM");
+}
+
+TEST(DeviceCatalog, FlexRangeMatchesTable1) {
+  const auto smallest = find_device("EPF10K70");
+  const auto largest = find_device("EPF10K250A");
+  ASSERT_TRUE(smallest.has_value());
+  ASSERT_TRUE(largest.has_value());
+  EXPECT_EQ(smallest->ram_banks, 9);
+  EXPECT_EQ(largest->ram_banks, 20);
+  EXPECT_EQ(smallest->ram_bits, 2048);
+  EXPECT_EQ(smallest->ram_name, "EAB");
+}
+
+TEST(DeviceCatalog, ApexRangeMatchesTable1) {
+  const auto smallest = find_device("EP20K30E");
+  const auto largest = find_device("EP20K1500E");
+  ASSERT_TRUE(smallest.has_value());
+  ASSERT_TRUE(largest.has_value());
+  EXPECT_EQ(smallest->ram_banks, 12);
+  EXPECT_EQ(largest->ram_banks, 216);
+  EXPECT_EQ(smallest->ram_bits, 2048);
+  EXPECT_EQ(smallest->ram_name, "ESB");
+}
+
+TEST(DeviceCatalog, VirtexConfigurationsMatchTable1) {
+  const auto device = find_device("XCV1000");
+  ASSERT_TRUE(device.has_value());
+  const std::vector<BankConfig> expected{
+      {4096, 1}, {2048, 2}, {1024, 4}, {512, 8}, {256, 16}};
+  EXPECT_EQ(device->configs, expected);
+}
+
+TEST(DeviceCatalog, AlteraConfigurationsMatchTable1) {
+  for (const char* name : {"EPF10K70", "EP20K400E"}) {
+    const auto device = find_device(name);
+    ASSERT_TRUE(device.has_value()) << name;
+    const std::vector<BankConfig> expected{
+        {2048, 1}, {1024, 2}, {512, 4}, {256, 8}, {128, 16}};
+    EXPECT_EQ(device->configs, expected) << name;
+  }
+}
+
+TEST(DeviceCatalog, EveryDeviceYieldsValidBankType) {
+  for (const DeviceInfo& device : device_catalog()) {
+    const BankType type = on_chip_bank_type(device);
+    EXPECT_EQ(type.validate(), "") << device.device;
+    EXPECT_TRUE(type.on_chip()) << device.device;
+    EXPECT_EQ(type.capacity_bits(), device.ram_bits) << device.device;
+  }
+}
+
+TEST(DeviceCatalog, UnknownDeviceReturnsNullopt) {
+  EXPECT_FALSE(find_device("XCV9999").has_value());
+}
+
+TEST(DeviceCatalog, OffChipPresetsAreValid) {
+  const BankType sram = offchip_sram(4, 32768, 32);
+  EXPECT_EQ(sram.validate(), "");
+  EXPECT_FALSE(sram.on_chip());
+  EXPECT_GT(sram.pins_traversed, 0);
+  const BankType bulk = offchip_bulk(2, 1 << 20, 32);
+  EXPECT_EQ(bulk.validate(), "");
+  EXPECT_GT(bulk.read_latency, sram.read_latency);
+  EXPECT_GT(bulk.pins_traversed, sram.pins_traversed);
+}
+
+TEST(DeviceCatalog, BoardPresets) {
+  const Board board = single_fpga_board("XCV1000");
+  EXPECT_EQ(board.num_types(), 2u);
+  EXPECT_EQ(board.type(0).instances, 32);
+  const Board hier = hierarchical_board("XCV300");
+  EXPECT_EQ(hier.num_types(), 3u);
+  // Tiers get strictly farther from the processing unit.
+  EXPECT_LT(hier.type(0).pins_traversed, hier.type(1).pins_traversed);
+  EXPECT_LT(hier.type(1).pins_traversed, hier.type(2).pins_traversed);
+}
+
+}  // namespace
+}  // namespace gmm::arch

@@ -1,0 +1,103 @@
+#include "arch/memory_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/board.hpp"
+
+namespace gmm::arch {
+namespace {
+
+BankType valid_type() {
+  BankType t;
+  t.name = "blockram";
+  t.instances = 8;
+  t.ports = 2;
+  t.configs = {{4096, 1}, {2048, 2}, {1024, 4}, {512, 8}, {256, 16}};
+  t.read_latency = 1;
+  t.write_latency = 1;
+  t.pins_traversed = 0;
+  return t;
+}
+
+TEST(BankType, ValidTypePasses) {
+  EXPECT_EQ(valid_type().validate(), "");
+}
+
+TEST(BankType, CapacityConstantAcrossConfigs) {
+  const BankType t = valid_type();
+  EXPECT_EQ(t.capacity_bits(), 4096);
+  for (const BankConfig& c : t.configs) {
+    EXPECT_EQ(c.capacity_bits(), 4096);
+  }
+}
+
+TEST(BankType, Totals) {
+  const BankType t = valid_type();
+  EXPECT_EQ(t.total_ports(), 16);
+  EXPECT_EQ(t.total_bits(), 8 * 4096);
+  EXPECT_EQ(t.num_configs(), 5);
+  EXPECT_TRUE(t.multi_config());
+  EXPECT_TRUE(t.on_chip());
+  EXPECT_EQ(t.max_width(), 16);
+  EXPECT_EQ(t.max_depth(), 4096);
+}
+
+TEST(BankType, RejectsNonPow2Depth) {
+  BankType t = valid_type();
+  t.configs = {{3000, 1}};
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(BankType, RejectsNonPow2Width) {
+  BankType t = valid_type();
+  t.configs = {{4096, 1}, {256, 17}};
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(BankType, RejectsUnevenCapacity) {
+  BankType t = valid_type();
+  t.configs = {{4096, 1}, {2048, 4}};  // 4096 vs 8192 bits
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(BankType, RejectsDuplicateWidth) {
+  BankType t = valid_type();
+  t.configs = {{4096, 1}, {4096, 1}};
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(BankType, RejectsNonPositiveCounts) {
+  BankType t = valid_type();
+  t.instances = 0;
+  EXPECT_NE(t.validate(), "");
+  t = valid_type();
+  t.ports = 0;
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(BankConfig, ToString) {
+  EXPECT_EQ((BankConfig{4096, 1}).to_string(), "4096x1");
+  EXPECT_EQ((BankConfig{256, 16}).to_string(), "256x16");
+}
+
+TEST(Board, Totals) {
+  Board board("test");
+  board.add_bank_type(valid_type());
+  BankType sram;
+  sram.name = "sram";
+  sram.instances = 4;
+  sram.ports = 1;
+  sram.configs = {{32768, 32}};
+  sram.pins_traversed = 2;
+  board.add_bank_type(sram);
+
+  EXPECT_EQ(board.num_types(), 2u);
+  EXPECT_EQ(board.total_banks(), 12);
+  EXPECT_EQ(board.total_ports(), 16 + 4);
+  // Only the multi-config BlockRAM contributes configurations.
+  EXPECT_EQ(board.total_configs(), 16 * 5);
+  EXPECT_EQ(board.total_bits(), 8 * 4096 + 4 * 32768 * 32);
+}
+
+}  // namespace
+}  // namespace gmm::arch

@@ -1,0 +1,105 @@
+#include "design/design_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmm::design {
+namespace {
+
+TEST(DesignIo, ParsesFullDesign) {
+  const DesignParseResult r = parse_design_string(R"(
+design fir_filter
+segment coeffs depth 64 width 16 reads 10000 writes 64
+segment window depth 64 width 16 lifetime 0 100
+segment output depth 512 width 16 lifetime 50 200
+conflict coeffs window
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.design.name(), "fir_filter");
+  ASSERT_EQ(r.design.size(), 3u);
+  EXPECT_EQ(r.design.at(0).name, "coeffs");
+  EXPECT_EQ(r.design.at(0).depth, 64);
+  EXPECT_EQ(r.design.at(0).reads, 10000);
+  ASSERT_TRUE(r.design.at(1).lifetime.has_value());
+  EXPECT_EQ(r.design.at(1).lifetime->start, 0);
+  EXPECT_EQ(r.design.at(1).lifetime->end, 100);
+  EXPECT_TRUE(r.design.conflicts(0, 1));
+  EXPECT_FALSE(r.design.conflicts(0, 2));
+}
+
+TEST(DesignIo, ConflictsAllDirective) {
+  const DesignParseResult r = parse_design_string(R"(
+segment a depth 8 width 8
+segment b depth 8 width 8
+segment c depth 8 width 8
+conflicts all
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.design.num_conflicts(), 3u);
+}
+
+TEST(DesignIo, ConflictsLifetimesDirective) {
+  const DesignParseResult r = parse_design_string(R"(
+segment a depth 8 width 8 lifetime 0 10
+segment b depth 8 width 8 lifetime 10 20
+segment c depth 8 width 8 lifetime 5 15
+conflicts lifetimes
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.design.conflicts(0, 1));
+  EXPECT_TRUE(r.design.conflicts(0, 2));
+}
+
+TEST(DesignIo, RoundTrip) {
+  const DesignParseResult first = parse_design_string(R"(
+design demo
+segment big depth 1000 width 24 reads 5000
+segment tiny depth 4 width 2 lifetime 3 9
+conflict big tiny
+)");
+  ASSERT_TRUE(first.ok) << first.error;
+  const DesignParseResult second =
+      parse_design_string(design_to_string(first.design));
+  ASSERT_TRUE(second.ok) << second.error;
+  ASSERT_EQ(second.design.size(), first.design.size());
+  for (std::size_t i = 0; i < first.design.size(); ++i) {
+    EXPECT_EQ(second.design.at(i).name, first.design.at(i).name);
+    EXPECT_EQ(second.design.at(i).depth, first.design.at(i).depth);
+    EXPECT_EQ(second.design.at(i).width, first.design.at(i).width);
+    EXPECT_EQ(second.design.at(i).reads, first.design.at(i).reads);
+    EXPECT_EQ(second.design.at(i).lifetime, first.design.at(i).lifetime);
+  }
+  EXPECT_EQ(second.design.conflict_pairs(), first.design.conflict_pairs());
+}
+
+TEST(DesignIo, RejectsDuplicateSegment) {
+  const DesignParseResult r = parse_design_string(
+      "segment a depth 8 width 8\nsegment a depth 4 width 4\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DesignIo, RejectsUnknownConflictTarget) {
+  const DesignParseResult r = parse_design_string(
+      "segment a depth 8 width 8\nconflict a ghost\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DesignIo, RejectsSelfConflict) {
+  const DesignParseResult r = parse_design_string(
+      "segment a depth 8 width 8\nconflict a a\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DesignIo, RejectsBadLifetime) {
+  const DesignParseResult r = parse_design_string(
+      "segment a depth 8 width 8 lifetime 9 3\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DesignIo, RejectsMissingDimensions) {
+  const DesignParseResult r =
+      parse_design_string("segment a depth 8 reads 10\n");
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace gmm::design

@@ -1,0 +1,149 @@
+#include "ilp/cover_cuts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ilp/mip_solver.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::ilp {
+namespace {
+
+using lp::Index;
+using lp::LinExpr;
+using lp::Model;
+using lp::Sense;
+
+TEST(CoverCuts, FindsViolatedCover) {
+  // 3a + 3b + 3c <= 5: any two items form a cover.  The fractional point
+  // (0.8, 0.8, 0.2) violates a+b <= 1; extension pulls c in as well.
+  Model m;
+  LinExpr row;
+  for (int i = 0; i < 3; ++i) row.add(m.add_binary(-1), 3.0);
+  m.add_constraint(row, Sense::kLessEqual, 5);
+  const auto cuts = separate_cover_cuts(m, {0.8, 0.8, 0.2});
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0].vars.size(), 3u);  // extended cover includes c
+  EXPECT_DOUBLE_EQ(cuts[0].rhs, 1.0);
+}
+
+TEST(CoverCuts, NoCutAtIntegerPoint) {
+  Model m;
+  LinExpr row;
+  for (int i = 0; i < 3; ++i) row.add(m.add_binary(-1), 3.0);
+  m.add_constraint(row, Sense::kLessEqual, 5);
+  EXPECT_TRUE(separate_cover_cuts(m, {1.0, 0.0, 0.0}).empty());
+  EXPECT_TRUE(separate_cover_cuts(m, {0.0, 0.0, 0.0}).empty());
+}
+
+TEST(CoverCuts, SkipsNonKnapsackRows) {
+  Model m;
+  const Index a = m.add_binary(0);
+  const Index b = m.add_variable(0, 5, 0);  // continuous
+  LinExpr mixed;
+  mixed.add(a, 2.0);
+  mixed.add(b, 2.0);
+  m.add_constraint(mixed, Sense::kLessEqual, 3);
+  LinExpr negative;
+  negative.add(a, -2.0);
+  negative.add(m.add_binary(0), 2.0);
+  m.add_constraint(negative, Sense::kLessEqual, 1);
+  LinExpr equality;
+  equality.add(a, 1.0);
+  equality.add(m.add_binary(0), 1.0);
+  m.add_constraint(equality, Sense::kEqual, 1);
+  EXPECT_TRUE(separate_cover_cuts(m, {0.9, 4.9, 0.9, 0.9}).empty());
+}
+
+// Property: cuts never exclude any integer-feasible point.
+class CoverCutValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverCutValidity, CutsAreValidForAllFeasiblePoints) {
+  support::Rng rng(5100 + GetParam());
+  const int n = static_cast<int>(rng.uniform_int(3, 12));
+  Model m;
+  std::vector<double> weights(n);
+  LinExpr row;
+  double total = 0;
+  for (int j = 0; j < n; ++j) {
+    weights[j] = static_cast<double>(rng.uniform_int(1, 30));
+    row.add(m.add_binary(-1), weights[j]);
+    total += weights[j];
+  }
+  const double b = total * 0.5;
+  m.add_constraint(row, Sense::kLessEqual, b);
+
+  // A random fractional "LP point" inside the knapsack.
+  std::vector<double> x(n);
+  for (int j = 0; j < n; ++j) x[j] = rng.uniform_real();
+  const auto cuts = separate_cover_cuts(m, x, 16, 1e-9);
+
+  // Exhaustive check over every feasible 0-1 point.
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double weight = 0;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1u << j)) weight += weights[j];
+    }
+    if (weight > b) continue;  // infeasible point, cuts need not hold
+    for (const CoverCut& cut : cuts) {
+      double lhs = 0;
+      for (const Index v : cut.vars) {
+        if (mask & (1u << v)) lhs += 1.0;
+      }
+      EXPECT_LE(lhs, cut.rhs + 1e-9)
+          << "cut excludes feasible point, seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoverCutValidity, ::testing::Range(0, 25));
+
+TEST(CoverCuts, MipOptimaUnchangedByCuts) {
+  support::Rng rng(616);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(6, 16));
+    Model m;
+    LinExpr row;
+    for (int j = 0; j < n; ++j) {
+      row.add(m.add_binary(static_cast<double>(-rng.uniform_int(1, 50))),
+              static_cast<double>(rng.uniform_int(1, 25)));
+    }
+    m.add_constraint(row, Sense::kLessEqual,
+                     static_cast<double>(rng.uniform_int(10, 60)));
+    MipOptions with, without;
+    with.max_cut_rounds = 8;
+    without.max_cut_rounds = 0;
+    with.rel_gap = without.rel_gap = 1e-9;
+    const MipResult a = solve_mip(m, with);
+    const MipResult b = solve_mip(m, without);
+    ASSERT_EQ(a.status, lp::SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, lp::SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(CoverCuts, CutsReduceSearchOnCombinatorialKnapsack) {
+  // Equal weights slightly over half the capacity: LP bound is far from
+  // the integer optimum and plain B&B flounders; covers close it.
+  Model m;
+  LinExpr row;
+  const int n = 24;
+  for (int j = 0; j < n; ++j) {
+    row.add(m.add_binary(-10.0 - 0.01 * j), 12.0);
+  }
+  // 58/12 = 4.83: the LP takes four items plus a fraction, while any
+  // five items form a cover.
+  m.add_constraint(row, Sense::kLessEqual, 58.0);
+  MipOptions with, without;
+  with.max_cut_rounds = 8;
+  without.max_cut_rounds = 0;
+  const MipResult a = solve_mip(m, with);
+  const MipResult b = solve_mip(m, without);
+  ASSERT_EQ(a.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6);
+  EXPECT_LE(a.nodes, b.nodes);
+  EXPECT_GT(a.cover_cuts, 0);
+}
+
+}  // namespace
+}  // namespace gmm::ilp

@@ -1,0 +1,114 @@
+#include "lp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmm::lp {
+namespace {
+
+TEST(Presolve, DetectsCrossedVariableBounds) {
+  Model m;
+  m.add_variable(0, 1, 0, VarType::kInteger);
+  m.set_var_bounds(0, 0.4, 0.6);  // no integer inside
+  const PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(Presolve, RoundsIntegerBounds) {
+  Model m;
+  m.add_variable(0.3, 2.7, 1.0, VarType::kInteger);
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  ASSERT_EQ(r.reduced.num_vars(), 1);
+  EXPECT_DOUBLE_EQ(r.reduced.var_lb(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.reduced.var_ub(0), 2.0);
+}
+
+TEST(Presolve, FixedVariableSubstitution) {
+  Model m;
+  const Index x = m.add_variable(3, 3, 2.0);  // fixed at 3
+  const Index y = m.add_variable(0, 10, 1.0);
+  LinExpr e;
+  e.add(x, 1.0);
+  e.add(y, 1.0);
+  m.add_constraint(e, Sense::kLessEqual, 8);  // becomes y <= 5
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.vars_fixed, 1);
+  EXPECT_DOUBLE_EQ(r.objective_offset, 6.0);
+  // Row becomes a singleton on y, which folds into y's bounds.
+  EXPECT_EQ(r.reduced.num_rows(), 0);
+  ASSERT_EQ(r.reduced.num_vars(), 1);
+  EXPECT_DOUBLE_EQ(r.reduced.var_ub(0), 5.0);
+  // Postsolve restores the fixed variable.
+  const std::vector<double> x_full = postsolve(r, {4.0});
+  ASSERT_EQ(x_full.size(), 2u);
+  EXPECT_DOUBLE_EQ(x_full[0], 3.0);
+  EXPECT_DOUBLE_EQ(x_full[1], 4.0);
+}
+
+TEST(Presolve, RemovesRedundantRow) {
+  Model m;
+  const Index x = m.add_variable(0, 1, 0);
+  m.add_constraint(LinExpr(x, 1.0), Sense::kLessEqual, 5);  // always true
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.reduced.num_rows(), 0);
+  EXPECT_EQ(r.rows_removed, 1);
+}
+
+TEST(Presolve, DetectsInfeasibleRow) {
+  Model m;
+  const Index x = m.add_variable(0, 1, 0);
+  const Index y = m.add_variable(0, 1, 0);
+  LinExpr e;
+  e.add(x, 1.0);
+  e.add(y, 1.0);
+  m.add_constraint(e, Sense::kGreaterEqual, 3);  // max activity is 2
+  const PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+}
+
+TEST(Presolve, SingletonRowTightensAndCascades) {
+  Model m;
+  const Index x = m.add_variable(0, 10, 1.0);
+  const Index y = m.add_variable(0, 10, 1.0);
+  m.add_constraint(LinExpr(x, 2.0), Sense::kEqual, 6);  // x = 3
+  LinExpr e;
+  e.add(x, 1.0);
+  e.add(y, 1.0);
+  m.add_constraint(e, Sense::kLessEqual, 4);  // then y <= 1
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.vars_fixed, 1);             // x
+  EXPECT_EQ(r.reduced.num_rows(), 0);     // both rows folded away
+  ASSERT_EQ(r.reduced.num_vars(), 1);     // y remains
+  EXPECT_DOUBLE_EQ(r.reduced.var_ub(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.objective_offset, 3.0);
+}
+
+TEST(Presolve, NegativeCoefficientSingleton) {
+  Model m;
+  m.add_variable(-10, 10, 1.0);
+  m.add_constraint(LinExpr(0, -2.0), Sense::kLessEqual, 4);  // x >= -2
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  ASSERT_EQ(r.reduced.num_vars(), 1);
+  EXPECT_DOUBLE_EQ(r.reduced.var_lb(0), -2.0);
+  EXPECT_DOUBLE_EQ(r.reduced.var_ub(0), 10.0);
+}
+
+TEST(Presolve, EverythingFixed) {
+  Model m;
+  m.add_variable(2, 2, 5.0);
+  m.add_variable(1, 1, -1.0);
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.reduced.num_vars(), 0);
+  EXPECT_DOUBLE_EQ(r.objective_offset, 9.0);
+  const std::vector<double> x = postsolve(r, {});
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+}  // namespace
+}  // namespace gmm::lp

@@ -1,0 +1,158 @@
+#include "lp/standard_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/solver.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::lp {
+namespace {
+
+TEST(StandardForm, BuildsCscAndLogicalBounds) {
+  Model m;
+  const Index x = m.add_variable(0, 5, 1.0);
+  const Index y = m.add_variable(-1, 1, -2.0);
+  LinExpr e;
+  e.add(x, 2.0);
+  e.add(y, -3.0);
+  m.add_row(e, -4.0, 8.0);
+  const StandardForm sf = StandardForm::build(m);
+  EXPECT_EQ(sf.num_rows, 1);
+  EXPECT_EQ(sf.num_structural, 2);
+  EXPECT_EQ(sf.num_cols(), 3);
+  EXPECT_TRUE(sf.is_logical(2));
+  EXPECT_EQ(sf.logical_row(2), 0);
+  // Structural bounds/costs pass through unscaled.
+  EXPECT_DOUBLE_EQ(sf.lb[x], 0.0);
+  EXPECT_DOUBLE_EQ(sf.ub[x], 5.0);
+  EXPECT_DOUBLE_EQ(sf.cost[y], -2.0);
+}
+
+TEST(StandardForm, RowEquilibrationIsPow2AndBoundsConsistent) {
+  // Row with max |coef| = 1e6 -> scale is a power of two near 1e-6, and
+  // the logical bounds are the negated row bounds times the same scale.
+  Model m;
+  const Index x = m.add_variable(0, 1, 0.0);
+  m.add_row(LinExpr(x, 1048576.0), 0.0, 2097152.0);
+  const StandardForm sf = StandardForm::build(m);
+  const double scaled = sf.value[0];
+  EXPECT_NEAR(std::abs(scaled), 1.0, 0.5);  // equilibrated near unit
+  const double scale = scaled / 1048576.0;
+  int exponent = 0;
+  const double mantissa = std::frexp(scale, &exponent);
+  EXPECT_TRUE(mantissa == 0.5 || mantissa == -0.5);  // exact power of two
+  EXPECT_DOUBLE_EQ(sf.lb[sf.num_structural], -2097152.0 * scale);
+  EXPECT_DOUBLE_EQ(sf.ub[sf.num_structural], -0.0 * scale);
+}
+
+TEST(StandardForm, InfiniteRowBoundsSurviveScaling) {
+  Model m;
+  const Index x = m.add_variable(0, 1, 0.0);
+  m.add_constraint(LinExpr(x, 1e6), Sense::kLessEqual, 5e5);
+  const StandardForm sf = StandardForm::build(m);
+  EXPECT_EQ(sf.ub[sf.num_structural], kInf);   // row lb was -inf
+  EXPECT_LT(sf.lb[sf.num_structural], 0.0);    // scaled -5e5
+  EXPECT_TRUE(std::isfinite(sf.lb[sf.num_structural]));
+}
+
+TEST(StandardForm, BadlyScaledLpSolvesCorrectly) {
+  // Mixed 1e-3 .. 1e6 coefficients; the optimum is analytic.
+  // min -x - y  s.t. 1e6 x + 1e6 y <= 1.5e6, 0.001 x <= 0.001,
+  // x,y in [0,1]: optimum x=0.5? no: x<=1 from row2, x+y <= 1.5
+  // -> x=1, y=0.5, objective -1.5.
+  Model m;
+  const Index x = m.add_variable(0, 1, -1.0);
+  const Index y = m.add_variable(0, 1, -1.0);
+  LinExpr big;
+  big.add(x, 1e6);
+  big.add(y, 1e6);
+  m.add_constraint(big, Sense::kLessEqual, 1.5e6);
+  m.add_constraint(LinExpr(x, 1e-3), Sense::kLessEqual, 1e-3);
+  const LpResult r = solve_lp(m, {.simplex = {}, .use_presolve = false});
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.5, 1e-7);
+}
+
+TEST(StandardForm, RandomScaledLpsMatchUnscaledEquivalents) {
+  // Scaling rows of a model by arbitrary positive factors must not change
+  // the optimum (the solver's internal equilibration handles either).
+  support::Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 10));
+    Model plain, scaled;
+    for (int j = 0; j < n; ++j) {
+      const double lb = 0, ub = rng.uniform_int(1, 5);
+      const double c = static_cast<double>(rng.uniform_int(-5, 5));
+      plain.add_variable(lb, ub, c);
+      scaled.add_variable(lb, ub, c);
+    }
+    for (int i = 0; i < 6; ++i) {
+      LinExpr e_plain, e_scaled;
+      double mid = 0;
+      const double factor = std::pow(10.0, rng.uniform_int(-3, 6));
+      for (int j = 0; j < n; ++j) {
+        if (!rng.bernoulli(0.5)) continue;
+        const double a = static_cast<double>(rng.uniform_int(1, 9));
+        e_plain.add(j, a);
+        e_scaled.add(j, a * factor);
+        mid += a * 2.5;
+      }
+      if (e_plain.empty()) continue;
+      plain.add_constraint(e_plain, Sense::kLessEqual, mid);
+      scaled.add_constraint(e_scaled, Sense::kLessEqual, mid * factor);
+    }
+    const LpResult a = solve_lp(plain);
+    const LpResult b = solve_lp(scaled);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective,
+                1e-6 * std::max(1.0, std::abs(a.objective)))
+        << "trial " << trial;
+  }
+}
+
+TEST(Simplex, IterationLimitReported) {
+  support::Rng rng(99);
+  Model m;
+  const int n = 40;
+  for (int j = 0; j < n; ++j) {
+    m.add_variable(0, 10, static_cast<double>(rng.uniform_int(-9, 9)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    LinExpr e;
+    double mid = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.4)) {
+        const double a = static_cast<double>(rng.uniform_int(-4, 4));
+        e.add(j, a);
+        mid += 5 * a;
+      }
+    }
+    if (!e.empty()) m.add_constraint(e, Sense::kGreaterEqual, mid - 10);
+  }
+  LpOptions options;
+  options.simplex.iteration_limit = 1;  // absurdly small
+  options.use_presolve = false;
+  const LpResult r = solve_lp(m, options);
+  EXPECT_TRUE(r.status == SolveStatus::kIterationLimit ||
+              r.status == SolveStatus::kOptimal);  // trivially optimal ok
+}
+
+TEST(Simplex, FixedVariablesRespected) {
+  Model m;
+  const Index x = m.add_variable(3, 3, -10.0);  // fixed, attractive cost
+  const Index y = m.add_variable(0, 10, 1.0);
+  LinExpr e;
+  e.add(x, 1.0);
+  e.add(y, 1.0);
+  m.add_constraint(e, Sense::kGreaterEqual, 5.0);
+  const LpResult r = solve_lp(m, {.simplex = {}, .use_presolve = false});
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.x[x], 3.0);
+  EXPECT_NEAR(r.x[y], 2.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace gmm::lp

@@ -1,0 +1,222 @@
+#include "mapping/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/arithmetic.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::mapping {
+namespace {
+
+design::DataStructure ds(std::int64_t depth, std::int64_t width) {
+  design::DataStructure s;
+  s.name = "ds";
+  s.depth = depth;
+  s.width = width;
+  return s;
+}
+
+/// The 3-port, four-configuration bank of the paper's Figure-2 example.
+arch::BankType figure2_bank(std::int64_t instances = 16) {
+  arch::BankType t;
+  t.name = "fig2";
+  t.instances = instances;
+  t.ports = 3;
+  t.configs = {{128, 1}, {64, 2}, {32, 4}, {16, 8}};
+  return t;
+}
+
+// ---- Figure 3: consumed_ports --------------------------------------------
+
+TEST(ConsumedPorts, Figure3Semantics) {
+  // 16 words on a 128-deep bank with 3 ports: fraction 1/8 -> 1 port.
+  EXPECT_EQ(consumed_ports(16, 128, 3), 1);
+  // 7 words round to 8; 8/16 = 1/2 of 3 ports -> 2 ports.
+  EXPECT_EQ(consumed_ports(7, 16, 3), 2);
+  // 7 words round to 8; 8/128 of 3 ports -> 1 port.
+  EXPECT_EQ(consumed_ports(7, 128, 3), 1);
+  // Full depth consumes every port.
+  EXPECT_EQ(consumed_ports(128, 128, 3), 3);
+  EXPECT_EQ(consumed_ports(16, 16, 2), 2);
+  // Empty fragment consumes nothing.
+  EXPECT_EQ(consumed_ports(0, 128, 3), 0);
+}
+
+TEST(ConsumedPorts, DualPortExactness) {
+  // For Pt = 2 (the paper: "optimal for Pt = 2"): halves cost 1 port.
+  EXPECT_EQ(consumed_ports(8, 16, 2), 1);
+  EXPECT_EQ(consumed_ports(4, 16, 2), 1);
+  EXPECT_EQ(consumed_ports(9, 16, 2), 2);  // rounds to 16 = full
+  EXPECT_EQ(consumed_ports(1, 16, 2), 1);
+}
+
+TEST(ConsumedPorts, Table2OverestimationForThreePorts) {
+  // The paper's Table-2 discussion: an 8-word fragment on a 3-port,
+  // 16-word bank consumes 2 ports, so (8, 8) needs 4 ports and is
+  // rejected on a 3-port bank.
+  EXPECT_EQ(consumed_ports(8, 16, 3), 2);
+  EXPECT_GT(consumed_ports(8, 16, 3) * 2, 3);
+}
+
+// ---- Figure 2: the worked 55x17 example -----------------------------------
+
+TEST(PlanPlacement, Figure2WorkedExample) {
+  const PlacementPlan plan = plan_placement(ds(55, 17), figure2_bank());
+  ASSERT_TRUE(plan.feasible);
+  // alpha: no width >= 17, so the widest config (16x8, index 3).
+  EXPECT_EQ(plan.alpha, 3);
+  // beta: width remainder 1 -> config 128x1 (index 0).
+  EXPECT_EQ(plan.beta, 0);
+  // CP components: FP=18, WP=3, DP=4, WDP=1 (total 26).
+  EXPECT_EQ(plan.fp, 18);
+  EXPECT_EQ(plan.wp, 3);
+  EXPECT_EQ(plan.dp, 4);
+  EXPECT_EQ(plan.wdp, 1);
+  EXPECT_EQ(plan.cp, 26);
+  // CW = 2*8 + 1 = 17; CD = 3*16 + 8 = 56.
+  EXPECT_EQ(plan.cw, 17);
+  EXPECT_EQ(plan.cd, 56);
+  // Figure 2 shows 12 instances: 6 full + 3 column + 2 row + 1 corner.
+  EXPECT_EQ(plan.total_fragments(), 12);
+  ASSERT_EQ(plan.groups.size(), 4u);
+  EXPECT_EQ(plan.groups[0].kind, FragmentKind::kFull);
+  EXPECT_EQ(plan.groups[0].count, 6);
+  EXPECT_EQ(plan.groups[0].ports_each, 3);
+  EXPECT_EQ(plan.groups[1].kind, FragmentKind::kWidthColumn);
+  EXPECT_EQ(plan.groups[1].count, 3);
+  EXPECT_EQ(plan.groups[1].ports_each, 1);
+  EXPECT_EQ(plan.groups[2].kind, FragmentKind::kDepthRow);
+  EXPECT_EQ(plan.groups[2].count, 2);
+  EXPECT_EQ(plan.groups[2].ports_each, 2);
+  EXPECT_EQ(plan.groups[3].kind, FragmentKind::kCorner);
+  EXPECT_EQ(plan.groups[3].count, 1);
+  EXPECT_EQ(plan.groups[3].ports_each, 1);
+}
+
+TEST(PlanPlacement, Figure2FreeBitsAnnotations) {
+  // Figure 2 annotates unused bits per partially-used instance:
+  // column instances (128x1 holding 16 words): 112 bits free;
+  // row instances (16x8 holding 8 of 16 words): 64 bits free;
+  // corner (128x1 holding 8 words): 120 bits free.
+  const PlacementPlan plan = plan_placement(ds(55, 17), figure2_bank());
+  const std::int64_t capacity = figure2_bank().capacity_bits();
+  EXPECT_EQ(capacity - plan.groups[1].block_bits, 112);
+  EXPECT_EQ(capacity - plan.groups[2].block_bits, 64);
+  EXPECT_EQ(capacity - plan.groups[3].block_bits, 120);
+}
+
+// ---- structural edge cases -------------------------------------------------
+
+TEST(PlanPlacement, ExactFitSingleInstance) {
+  // 16x8 structure == one full instance in config 16x8.
+  const PlacementPlan plan = plan_placement(ds(16, 8), figure2_bank());
+  EXPECT_EQ(plan.cp, 3);  // all ports of one instance
+  EXPECT_EQ(plan.cw, 8);
+  EXPECT_EQ(plan.cd, 16);
+  EXPECT_EQ(plan.total_fragments(), 1);
+  EXPECT_EQ(plan.groups[0].kind, FragmentKind::kFull);
+}
+
+TEST(PlanPlacement, NarrowStructureUsesSmallestSufficientWidth) {
+  // Width 3 -> alpha is the 32x4 config; depth 20 < 32 -> corner... but
+  // with no full rows/columns everything is the single corner fragment.
+  const PlacementPlan plan = plan_placement(ds(20, 3), figure2_bank());
+  EXPECT_EQ(plan.alpha, 2);           // 32x4
+  EXPECT_EQ(plan.beta, 2);            // remainder 3 -> same config
+  EXPECT_EQ(plan.fp, 0);
+  EXPECT_EQ(plan.wp, 0);
+  EXPECT_EQ(plan.dp, 0);
+  // 20 words round to 32 = full depth -> all 3 ports.
+  EXPECT_EQ(plan.wdp, 3);
+  EXPECT_EQ(plan.cw, 4);
+  EXPECT_EQ(plan.cd, 32);
+  EXPECT_EQ(plan.total_fragments(), 1);
+}
+
+TEST(PlanPlacement, ExactWidthMultipleNoRemainder) {
+  // 32 words x 16 bits on the fig2 bank: width = 2 alpha columns (8+8),
+  // no width remainder, depth 32 = 2 full rows of 16.
+  const PlacementPlan plan = plan_placement(ds(32, 16), figure2_bank());
+  EXPECT_EQ(plan.alpha, 3);
+  EXPECT_EQ(plan.beta, -1);
+  EXPECT_EQ(plan.fp, 4 * 3);
+  EXPECT_EQ(plan.wp, 0);
+  EXPECT_EQ(plan.dp, 0);
+  EXPECT_EQ(plan.wdp, 0);
+  EXPECT_EQ(plan.cw, 16);
+  EXPECT_EQ(plan.cd, 32);
+}
+
+TEST(PlanPlacement, SingleConfigurationBank) {
+  arch::BankType sram;
+  sram.name = "sram";
+  sram.instances = 2;
+  sram.ports = 1;
+  sram.configs = {{32768, 32}};
+  const PlacementPlan plan = plan_placement(ds(1000, 24), sram);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.alpha, 0);
+  EXPECT_EQ(plan.cp, 1);  // 1024/32768 of 1 port -> 1
+  EXPECT_EQ(plan.cw, 32);
+  EXPECT_EQ(plan.cd, 1024);
+  EXPECT_EQ(plan.total_fragments(), 1);
+}
+
+TEST(PlanPlacement, InfeasibleWhenTooBig) {
+  // 8 instances x 4096 bits = 32768 bits total; a 64Kbit structure
+  // cannot fit.
+  const PlacementPlan plan =
+      plan_placement(ds(4096, 16), figure2_bank(/*instances=*/8));
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PlanPlacement, PortBoundInfeasibility) {
+  // 2 instances x 3 ports = 6 ports; a structure needing 4 full
+  // instances (12 ports) must be infeasible.
+  const PlacementPlan plan =
+      plan_placement(ds(64, 8), figure2_bank(/*instances=*/2));
+  EXPECT_FALSE(plan.feasible);
+}
+
+// ---- property sweep ---------------------------------------------------------
+
+class PlanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanPropertyTest, InvariantsHoldOnRandomShapes) {
+  support::Rng rng(4200 + GetParam());
+  const arch::BankType bank = figure2_bank(/*instances=*/1 << 20);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::int64_t depth = rng.uniform_int(1, 5000);
+    const std::int64_t width = rng.uniform_int(1, 64);
+    const PlacementPlan plan = plan_placement(ds(depth, width), bank);
+
+    // CP decomposition identity.
+    EXPECT_EQ(plan.cp, plan.fp + plan.wp + plan.dp + plan.wdp);
+    // Fragment coverage identity: data bits covered exactly once.
+    std::int64_t covered = 0;
+    for (const FragmentGroup& g : plan.groups) {
+      covered += g.count * g.words_covered * g.bits_covered;
+      EXPECT_GT(g.ports_each, 0);
+      EXPECT_LE(g.ports_each, bank.ports);
+      EXPECT_TRUE(support::is_pow2(g.block_bits));
+      EXPECT_LE(g.block_bits, bank.capacity_bits());
+      // Port fraction dominates the capacity fraction (the invariant
+      // that lets detailed mapping bin-pack on ports alone).
+      EXPECT_LE(g.block_bits * bank.ports,
+                g.ports_each * bank.capacity_bits());
+    }
+    EXPECT_EQ(covered, depth * width);
+    // Consumed width/depth bound the real dimensions.
+    EXPECT_GE(plan.cw, std::min(width, bank.max_width()));
+    EXPECT_GE(plan.cd * plan.cw, depth * width);
+    // Fragment ports sum to CP.
+    std::int64_t ports = 0;
+    for (const FragmentGroup& g : plan.groups) ports += g.count * g.ports_each;
+    EXPECT_EQ(ports, plan.cp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlanPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gmm::mapping

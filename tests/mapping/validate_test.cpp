@@ -1,0 +1,149 @@
+// Negative tests: the validator must catch every corruption class it
+// advertises.  A validator that never fires is worse than none — these
+// tests corrupt known-good mappings one field at a time.
+#include "mapping/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/device_catalog.hpp"
+#include "mapping/detailed_mapper.hpp"
+#include "mapping/pipeline.hpp"
+
+namespace gmm::mapping {
+namespace {
+
+struct Fixture {
+  arch::Board board{"b"};
+  design::Design design{"d"};
+  CostTable* table = nullptr;
+  GlobalAssignment assignment;
+  DetailedMapping mapping;
+
+  Fixture() {
+    board.add_bank_type(
+        arch::on_chip_bank_type(*arch::find_device("XCV300")));
+    design::DataStructure a;
+    a.name = "a";
+    a.depth = 1024;
+    a.width = 1;
+    design.add(a);
+    design::DataStructure b;
+    b.name = "b";
+    b.depth = 2048;
+    b.width = 1;
+    design.add(b);
+    design.set_all_conflicting();
+    table = new CostTable(design, board);
+    assignment.type_of = {0, 0};
+    mapping = map_detailed(design, board, *table, assignment);
+  }
+  ~Fixture() { delete table; }
+};
+
+TEST(ValidateNegative, CleanMappingPasses) {
+  Fixture f;
+  ASSERT_TRUE(f.mapping.success);
+  EXPECT_TRUE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsFailedMapping) {
+  Fixture f;
+  f.mapping.success = false;
+  f.mapping.failure = "synthetic";
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsMissingCoverage) {
+  Fixture f;
+  f.mapping.fragments.pop_back();
+  const auto violations =
+      validate_mapping(f.design, f.board, f.assignment, f.mapping);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ValidateNegative, DetectsWrongTypeAssignment) {
+  Fixture f;
+  f.assignment.type_of[0] = -1;
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsInstanceOutOfRange) {
+  Fixture f;
+  f.mapping.fragments.front().instance = 10'000;
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsPortRangeOverflow) {
+  Fixture f;
+  f.mapping.fragments.front().first_port = 99;
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsNonPow2Block) {
+  Fixture f;
+  f.mapping.fragments.front().block_bits = 1000;  // not a power of two
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsMisalignedOffset) {
+  Fixture f;
+  f.mapping.fragments.front().offset_bits += 1;
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsCapacityOverflow) {
+  Fixture f;
+  f.mapping.fragments.front().offset_bits =
+      f.board.type(0).capacity_bits();
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsUnknownConfig) {
+  Fixture f;
+  f.mapping.fragments.front().config_index = 99;
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsConflictingShare) {
+  // Force both structures' fragments onto the identical block+ports of
+  // one instance; they conflict, so sharing is illegal.
+  Fixture f;
+  ASSERT_GE(f.mapping.fragments.size(), 2u);
+  PlacedFragment& second = f.mapping.fragments[1];
+  const PlacedFragment& first = f.mapping.fragments[0];
+  second.instance = first.instance;
+  second.offset_bits = first.offset_bits;
+  second.block_bits = first.block_bits;
+  second.first_port = first.first_port;
+  second.ports = first.ports;
+  second.config_index = first.config_index;
+  EXPECT_FALSE(
+      validate_mapping(f.design, f.board, f.assignment, f.mapping).empty());
+}
+
+TEST(ValidateNegative, DetectsPartialBlockOverlap) {
+  Fixture f;
+  ASSERT_GE(f.mapping.fragments.size(), 2u);
+  PlacedFragment& second = f.mapping.fragments[1];
+  const PlacedFragment& first = f.mapping.fragments[0];
+  // Same instance, overlapping but not identical blocks.
+  second.instance = first.instance;
+  second.offset_bits = first.offset_bits;  // same offset...
+  second.block_bits = first.block_bits * 2;  // ...different size
+  second.first_port = first.first_port + first.ports;  // ports disjoint
+  const auto violations =
+      validate_mapping(f.design, f.board, f.assignment, f.mapping);
+  EXPECT_FALSE(violations.empty());
+}
+
+}  // namespace
+}  // namespace gmm::mapping

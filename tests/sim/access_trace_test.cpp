@@ -1,0 +1,101 @@
+#include "sim/access_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gmm::sim {
+namespace {
+
+design::Design small_design() {
+  design::Design d("d");
+  design::DataStructure a;
+  a.name = "a";
+  a.depth = 16;
+  a.width = 8;
+  a.reads = 100;
+  a.writes = 50;
+  d.add(a);
+  design::DataStructure b;
+  b.name = "b";
+  b.depth = 64;
+  b.width = 4;
+  b.reads = 10;
+  b.writes = 20;
+  d.add(b);
+  return d;
+}
+
+TEST(AccessTrace, RespectsFootprintCounts) {
+  const design::Design d = small_design();
+  const std::vector<Access> trace = generate_trace(d);
+  std::map<std::pair<std::uint32_t, bool>, std::int64_t> counts;
+  for (const Access& a : trace) ++counts[std::make_pair(a.ds, a.is_write)];
+  EXPECT_EQ(counts[std::make_pair(0u, false)], 100);
+  EXPECT_EQ(counts[std::make_pair(0u, true)], 50);
+  EXPECT_EQ(counts[std::make_pair(1u, false)], 10);
+  EXPECT_EQ(counts[std::make_pair(1u, true)], 20);
+}
+
+TEST(AccessTrace, AddressesInRange) {
+  const design::Design d = small_design();
+  for (const AddressPattern pattern :
+       {AddressPattern::kSequential, AddressPattern::kStrided,
+        AddressPattern::kRandom}) {
+    TraceOptions options;
+    options.pattern = pattern;
+    for (const Access& a : generate_trace(d, options)) {
+      EXPECT_GE(a.word, 0);
+      EXPECT_LT(a.word, d.at(a.ds).depth);
+    }
+  }
+}
+
+TEST(AccessTrace, DeterministicForSeed) {
+  const design::Design d = small_design();
+  TraceOptions options;
+  options.seed = 99;
+  const std::vector<Access> t1 = generate_trace(d, options);
+  const std::vector<Access> t2 = generate_trace(d, options);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].ds, t2[i].ds);
+    EXPECT_EQ(t1[i].word, t2[i].word);
+    EXPECT_EQ(t1[i].is_write, t2[i].is_write);
+  }
+}
+
+TEST(AccessTrace, CapsTotalAccesses) {
+  design::Design d("d");
+  design::DataStructure big;
+  big.name = "big";
+  big.depth = 4096;
+  big.width = 8;
+  big.reads = 10'000'000;
+  big.writes = 10'000'000;
+  d.add(big);
+  TraceOptions options;
+  options.max_accesses = 1000;
+  const std::vector<Access> trace = generate_trace(d, options);
+  EXPECT_LE(trace.size(), 1100u);  // scaling keeps ratios, small slack
+  EXPECT_GE(trace.size(), 900u);
+}
+
+TEST(AccessTrace, SequentialPatternCoversPrefix) {
+  design::Design d("d");
+  design::DataStructure s;
+  s.name = "s";
+  s.depth = 8;
+  s.width = 8;
+  s.reads = 8;
+  s.writes = 8;
+  d.add(s);
+  TraceOptions options;
+  options.pattern = AddressPattern::kSequential;
+  std::vector<bool> seen(8, false);
+  for (const Access& a : generate_trace(d, options)) seen[a.word] = true;
+  for (const bool hit : seen) EXPECT_TRUE(hit);
+}
+
+}  // namespace
+}  // namespace gmm::sim

@@ -1,0 +1,68 @@
+#include "sim/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/device_catalog.hpp"
+#include "mapping/cost_model.hpp"
+
+namespace gmm::sim {
+namespace {
+
+design::Design two_structures() {
+  design::Design d("d");
+  design::DataStructure a;
+  a.name = "hot";
+  a.depth = 64;
+  a.width = 8;
+  d.add(a);
+  design::DataStructure b;
+  b.name = "cold";
+  b.depth = 64;
+  b.width = 8;
+  d.add(b);
+  d.set_all_conflicting();
+  return d;
+}
+
+TEST(Footprint, CountsTraceAccesses) {
+  const design::Design design = two_structures();
+  std::vector<Access> trace;
+  for (int i = 0; i < 1000; ++i) trace.push_back({0, i % 64, false});
+  for (int i = 0; i < 10; ++i) trace.push_back({0, i, true});
+  trace.push_back({1, 0, false});
+  const design::Design profiled = with_trace_footprints(design, trace);
+  EXPECT_EQ(profiled.at(0).reads, 1000);
+  EXPECT_EQ(profiled.at(0).writes, 10);
+  EXPECT_EQ(profiled.at(1).reads, 1);
+  EXPECT_EQ(profiled.at(1).writes, 1);  // untouched -> minimum 1
+  // Conflicts survive the profiling copy.
+  EXPECT_TRUE(profiled.conflicts(0, 1));
+}
+
+TEST(Footprint, ProfiledCostsPreferHotStructuresOnChip) {
+  const design::Design design = two_structures();
+  std::vector<Access> trace;
+  for (int i = 0; i < 100000; ++i) trace.push_back({0, i % 64, false});
+  trace.push_back({1, 0, false});
+  const design::Design profiled = with_trace_footprints(design, trace);
+
+  const arch::Board board = arch::single_fpga_board("XCV50", 2);
+  const mapping::CostTable table(profiled, board);
+  // Off-chip penalty for the hot structure dwarfs the cold one's.
+  const double hot_penalty = table.cost(0, 1) - table.cost(0, 0);
+  const double cold_penalty = table.cost(1, 1) - table.cost(1, 0);
+  EXPECT_GT(hot_penalty, 100 * cold_penalty);
+}
+
+TEST(Footprint, RoundTripWithGeneratedTrace) {
+  // generate_trace followed by with_trace_footprints reproduces the
+  // effective footprints (up to the trace cap).
+  design::Design design = two_structures();
+  const std::vector<Access> trace = generate_trace(design);
+  const design::Design profiled = with_trace_footprints(design, trace);
+  EXPECT_EQ(profiled.at(0).reads, design.at(0).effective_reads());
+  EXPECT_EQ(profiled.at(0).writes, design.at(0).effective_writes());
+}
+
+}  // namespace
+}  // namespace gmm::sim

@@ -1,0 +1,63 @@
+#include "support/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmm::support {
+namespace {
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtil, SplitWs) {
+  EXPECT_EQ(split_ws("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_EQ(split_ws("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("bank.type", "bank"));
+  EXPECT_FALSE(starts_with("bank", "bank.type"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(format_fixed(8.1, 1), "8.1");
+  EXPECT_EQ(format_fixed(2989.0, 1), "2989.0");
+  EXPECT_EQ(format_fixed(0.123456, 3), "0.123");
+}
+
+TEST(StringUtil, ParseInt) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("  -7 ", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_int("4x", v));
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("3.5", v));
+}
+
+TEST(StringUtil, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(parse_double(" -1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("abc", v));
+}
+
+}  // namespace
+}  // namespace gmm::support

@@ -1,0 +1,63 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gmm::support {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForSingleWorker) {
+  ThreadPool pool(1);
+  std::vector<int> data(257, 0);
+  parallel_for(pool, data.size(), [&data](std::size_t i) { data[i] = 1; });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 257);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (batch + 1) * 20);
+  }
+}
+
+}  // namespace
+}  // namespace gmm::support

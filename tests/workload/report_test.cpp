@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/ascii_plot.hpp"
+#include "report/text_table.hpp"
+
+namespace gmm::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"Design", "Time (sec)"});
+  table.set_alignment(0, Align::kLeft);
+  table.add_row({"point1", "8.1"});
+  table.add_row({"point9", "2989.0"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| Design"), std::string::npos);
+  EXPECT_NE(out.find("2989.0"), std::string::npos);
+  // All lines equally wide.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"with,comma", "2"});
+  table.add_row({"with\"quote", "3"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_NE(out.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  Series a{"complete", {8.1, 29.4, 99.3, 518.3, 2989.0}, '*'};
+  Series b{"global", {7.8, 25.3, 50.7, 216.4, 489.0}, 'o'};
+  std::ostringstream out;
+  PlotOptions options;
+  options.x_label = "design point";
+  options.y_label = "seconds";
+  ascii_plot(out, {a, b}, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+  EXPECT_NE(text.find("complete"), std::string::npos);
+  EXPECT_NE(text.find("global"), std::string::npos);
+  EXPECT_NE(text.find("seconds"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleHandlesWideRanges) {
+  Series s{"times", {1.0, 10.0, 100.0, 1000.0}, '#'};
+  std::ostringstream out;
+  PlotOptions options;
+  options.log_y = true;
+  ascii_plot(out, {s}, options);
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(GnuplotData, ColumnsPerSeries) {
+  Series a{"a", {1, 2, 3}, '*'};
+  Series b{"b", {4, 5}, 'o'};
+  std::ostringstream out;
+  write_gnuplot_data(out, {a, b});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# x\ta\tb"), std::string::npos);
+  EXPECT_NE(text.find("0\t1\t4"), std::string::npos);
+  EXPECT_NE(text.find("2\t3\tnan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmm::report

@@ -1,0 +1,57 @@
+#include "workload/table3_suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmm::workload {
+namespace {
+
+TEST(Table3Suite, NinePointsInPaperOrder) {
+  const auto& points = table3_points();
+  ASSERT_EQ(points.size(), 9u);
+  // First and last rows exactly as printed in the paper.
+  EXPECT_EQ(points.front().segments, 22);
+  EXPECT_EQ(points.front().totals.banks, 13);
+  EXPECT_EQ(points.front().totals.ports, 25);
+  EXPECT_EQ(points.front().totals.configs, 50);
+  EXPECT_DOUBLE_EQ(points.front().paper_complete_seconds, 8.1);
+  EXPECT_DOUBLE_EQ(points.front().paper_global_seconds, 7.8);
+  EXPECT_EQ(points.back().segments, 132);
+  EXPECT_EQ(points.back().totals.banks, 180);
+  EXPECT_DOUBLE_EQ(points.back().paper_complete_seconds, 2989.0);
+  EXPECT_DOUBLE_EQ(points.back().paper_global_seconds, 489.0);
+}
+
+TEST(Table3Suite, PointsOrderedByProblemSize) {
+  // The paper orders design points by increasing problem size; the
+  // complete-approach time grows monotonically along them.
+  const auto& points = table3_points();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].paper_complete_seconds,
+              points[i - 1].paper_complete_seconds);
+  }
+}
+
+TEST(Table3Suite, EveryPointInstantiates) {
+  for (const Table3Point& point : table3_points()) {
+    const Table3Instance instance = build_instance(point);
+    EXPECT_EQ(instance.board.total_banks(), point.totals.banks)
+        << "point " << point.index;
+    EXPECT_EQ(instance.board.total_ports(), point.totals.ports);
+    EXPECT_EQ(instance.board.total_configs(), point.totals.configs);
+    EXPECT_EQ(static_cast<std::int64_t>(instance.design.size()),
+              point.segments);
+  }
+}
+
+TEST(Table3Suite, InstancesAreSeedStable) {
+  const Table3Instance a = build_instance(table3_points()[2], 77);
+  const Table3Instance b = build_instance(table3_points()[2], 77);
+  ASSERT_EQ(a.design.size(), b.design.size());
+  for (std::size_t i = 0; i < a.design.size(); ++i) {
+    EXPECT_EQ(a.design.at(i).depth, b.design.at(i).depth);
+    EXPECT_EQ(a.design.at(i).width, b.design.at(i).width);
+  }
+}
+
+}  // namespace
+}  // namespace gmm::workload
