@@ -6,6 +6,7 @@
 #include <map>
 
 #include "arch/device_catalog.hpp"
+#include "bench_common.hpp"
 #include "report/text_table.hpp"
 
 int main() {
@@ -61,11 +62,18 @@ int main() {
   detail.set_alignment(0, report::Align::kLeft);
   detail.set_alignment(1, report::Align::kLeft);
   detail.set_alignment(2, report::Align::kLeft);
+  bench::BenchJson json("device_catalog");
   for (const arch::DeviceInfo& d : arch::device_catalog()) {
     detail.add_row({d.family, d.device, d.ram_name,
                     std::to_string(d.ram_banks), std::to_string(d.ram_bits),
                     std::to_string(d.ports),
                     std::to_string(d.ram_banks * d.ram_bits)});
+    json.write("device", {bench::jstr("family", d.family),
+                          bench::jstr("device", d.device),
+                          bench::jint("banks", d.ram_banks),
+                          bench::jint("bits_per_bank", d.ram_bits),
+                          bench::jint("ports", d.ports),
+                          bench::jint("total_bits", d.ram_banks * d.ram_bits)});
   }
   detail.print(std::cout);
 

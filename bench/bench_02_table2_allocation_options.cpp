@@ -6,6 +6,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "mapping/preprocess.hpp"
 #include "report/text_table.hpp"
 
@@ -97,5 +98,12 @@ int main() {
       static_cast<long long>(plan.cp), static_cast<long long>(plan.cw),
       static_cast<long long>(plan.cd),
       static_cast<long long>(plan.total_fragments()));
+
+  bench::BenchJson json("allocation_options");
+  json.write("table2", {bench::jint("allocation_rows", physical_rows)});
+  json.write("figure2",
+             {bench::jint("cp", plan.cp), bench::jint("cw", plan.cw),
+              bench::jint("cd", plan.cd),
+              bench::jint("fragments", plan.total_fragments())});
   return 0;
 }

@@ -6,13 +6,17 @@
 // is faster everywhere and the advantage grows with design size.
 //
 // Knobs: GMM_BENCH_TIME_LIMIT (s per complete solve, default 120),
-//        GMM_BENCH_SEED, GMM_BENCH_MAX_POINT.
+//        GMM_BENCH_SEED, GMM_BENCH_MAX_POINT, GMM_BENCH_THREADS.
+// JSON mirror: BENCH_table3.json (per-point rows + thread-sweep records).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "mapping/complete_mapper.hpp"
 #include "report/text_table.hpp"
 #include "support/string_util.hpp"
+#include "support/timer.hpp"
 
 int main() {
   using namespace gmm;
@@ -25,6 +29,7 @@ int main() {
 
   const std::vector<bench::Table3Row> rows =
       bench::run_or_load_table3_sweep();
+  bench::BenchJson json("table3");
 
   report::TextTable table({"#segments", "banks", "ports", "configs",
                            "Complete (s)", "Global (s)", "ratio",
@@ -54,6 +59,18 @@ int main() {
                    support::format_fixed(row.point.paper_global_seconds, 1),
                    support::format_fixed(paper_ratio, 1) + "x",
                    row.objectives_match ? "yes" : "-"});
+    json.write("point",
+               {bench::jint("index", row.point.index),
+                bench::jint("segments", row.point.segments),
+                bench::jint("banks", row.point.totals.banks),
+                bench::jint("ports", row.point.totals.ports),
+                bench::jint("configs", row.point.totals.configs),
+                bench::jnum("complete_seconds", row.complete_seconds),
+                bench::jstr("complete_status", row.complete_status),
+                bench::jnum("complete_gap", row.complete_gap),
+                bench::jnum("global_seconds", row.global_seconds),
+                bench::jstr("global_status", row.global_status),
+                bench::jbool("parity", row.objectives_match)});
   }
   table.print(std::cout);
 
@@ -62,5 +79,38 @@ int main() {
       "formulation's (the paper's claim that detailed mapping does not\n"
       "affect the quality of the assignment).\n"
       "Results cached in gmm_table3_results.csv for the Figure-4 bench.\n");
+
+  // ---- parallel-solver thread sweep ------------------------------------
+  // The complete formulation of a mid-size point re-solved at each
+  // GMM_BENCH_THREADS count: the Table-3 bottleneck is exactly the solve
+  // the parallel branch & bound attacks.
+  const auto& points = workload::table3_points();
+  const int sweep_index =
+      std::max(0, std::min(3, bench::env_max_point() - 1));
+  const workload::Table3Instance instance =
+      workload::build_instance(points[sweep_index], bench::env_seed());
+  const mapping::CostTable cost_table(instance.design, instance.board);
+  const double sweep_limit = std::min(60.0, bench::env_time_limit());
+
+  std::printf("\n== complete-formulation thread sweep (Table-3 point %d) "
+              "==\n",
+              points[sweep_index].index);
+  bench::run_thread_sweep(
+      json, "complete_thread_sweep",
+      {bench::jint("point", points[sweep_index].index)},
+      [&](int threads) {
+        mapping::CompleteOptions options;
+        options.mip.num_threads = threads;
+        options.mip.time_limit_seconds = sweep_limit;
+        support::WallTimer timer;
+        const mapping::CompleteResult r = mapping::map_complete(
+            instance.design, instance.board, cost_table, options);
+        return bench::SweepOutcome{
+            .seconds = timer.seconds(),
+            .nodes = r.mip.nodes,
+            .lp_iterations = r.mip.lp_iterations,
+            .objective = r.mip.has_incumbent() ? r.mip.objective : -1.0,
+            .status = lp::to_string(r.status)};
+      });
   return 0;
 }

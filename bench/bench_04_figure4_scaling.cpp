@@ -43,5 +43,17 @@ int main() {
   std::printf(
       "\nWrote gmm_figure4.dat (gnuplot: plot 'gmm_figure4.dat' u 1:2 w lp "
       "t 'complete', '' u 1:3 w lp t 'global/detailed')\n");
+
+  bench::BenchJson json("figure4");
+  for (const bench::Table3Row& row : rows) {
+    json.write("point",
+               {bench::jint("index", row.point.index),
+                bench::jnum("complete_seconds", row.complete_seconds),
+                bench::jnum("global_seconds", row.global_seconds),
+                bench::jnum("paper_complete_seconds",
+                            row.point.paper_complete_seconds),
+                bench::jnum("paper_global_seconds",
+                            row.point.paper_global_seconds)});
+  }
   return 0;
 }

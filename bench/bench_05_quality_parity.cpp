@@ -20,6 +20,7 @@ int main() {
 
   report::TextTable table({"point", "seed", "global obj", "complete obj",
                            "parity", "greedy obj", "greedy excess"});
+  bench::BenchJson json("quality_parity");
   int parity_checked = 0, parity_held = 0;
 
   for (int point_index : {0, 1, 2}) {  // the three smallest Table-3 points
@@ -78,10 +79,26 @@ int main() {
            greedy_excess >= 0
                ? "+" + support::format_fixed(greedy_excess, 2) + "%"
                : "-"});
+      json.write("instance",
+                 {bench::jint("point", point.index),
+                  bench::jint("seed", static_cast<std::int64_t>(seed)),
+                  bench::jnum("global_objective",
+                              pipeline.assignment.objective),
+                  bench::jnum("complete_objective",
+                              complete.mip.has_incumbent()
+                                  ? complete.assignment.objective
+                                  : -1.0),
+                  bench::jstr("parity", parity),
+                  bench::jnum("greedy_objective",
+                              greedy.success ? greedy.assignment.objective
+                                             : -1.0),
+                  bench::jnum("greedy_excess_pct", greedy_excess)});
     }
   }
   table.print(std::cout);
   std::printf("\nParity held on %d of %d double-proven instances.\n",
               parity_held, parity_checked);
+  json.write("summary", {bench::jint("parity_checked", parity_checked),
+                         bench::jint("parity_held", parity_held)});
   return 0;
 }

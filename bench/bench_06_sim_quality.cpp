@@ -23,6 +23,7 @@ int main() {
                            "avg latency", "stalls"});
   table.set_alignment(2, report::Align::kLeft);
 
+  bench::BenchJson json("sim_quality");
   int agree = 0, comparisons = 0;
   for (int point_index : {0, 1, 3}) {
     const workload::Table3Point& point =
@@ -74,6 +75,14 @@ int main() {
                        std::to_string(report.total_cycles),
                        support::format_fixed(report.average_latency(), 2),
                        std::to_string(report.stall_cycles)});
+        json.write("mapper",
+                   {bench::jint("point", point.index),
+                    bench::jint("seed", static_cast<std::int64_t>(seed)),
+                    bench::jstr("mapper", name),
+                    bench::jnum("objective", objective),
+                    bench::jint("latency_sum", report.latency_sum),
+                    bench::jint("makespan", report.total_cycles),
+                    bench::jint("stalls", report.stall_cycles)});
       };
       add("global/detailed", pipeline.assignment.objective, ilp_sim);
       add("greedy", greedy.assignment.objective, greedy_sim);
@@ -90,5 +99,7 @@ int main() {
       "\nObjective ordering agreed with simulated latency ordering on %d "
       "of %d\ninstance pairs.\n",
       agree, comparisons);
+  json.write("summary", {bench::jint("comparisons", comparisons),
+                         bench::jint("agreements", agree)});
   return 0;
 }

@@ -38,6 +38,7 @@ int main() {
                            "on-chip segs", "off-chip segs", "latency part",
                            "pin-delay part", "pin-I/O part"});
   table.set_alignment(0, report::Align::kLeft);
+  bench::BenchJson json("ablation_weights");
 
   for (const WeightCase& c : cases) {
     mapping::PipelineOptions options;
@@ -68,6 +69,14 @@ int main() {
                    support::format_fixed(latency, 0),
                    support::format_fixed(pin_delay, 0),
                    support::format_fixed(pin_io, 0)});
+    json.write("weight_case",
+               {bench::jstr("name", c.name),
+                bench::jnum("objective", r.assignment.objective),
+                bench::jint("onchip_segments", onchip),
+                bench::jint("offchip_segments", offchip),
+                bench::jnum("latency_part", latency),
+                bench::jnum("pin_delay_part", pin_delay),
+                bench::jnum("pin_io_part", pin_io)});
   }
   table.print(std::cout);
   std::printf(

@@ -35,6 +35,18 @@ int main() {
   report::TextTable out({"configuration", "status", "objective", "seconds",
                          "B&B nodes", "LP iterations"});
   out.set_alignment(0, report::Align::kLeft);
+  bench::BenchJson json("ablation_solver");
+  const auto emit = [&json](const char* name, lp::SolveStatus status,
+                            const ilp::MipResult& mip, double seconds) {
+    json.write("configuration",
+               {bench::jstr("name", name),
+                bench::jstr("status", lp::to_string(status)),
+                bench::jnum("objective",
+                            mip.has_incumbent() ? mip.objective : -1.0),
+                bench::jnum("seconds", seconds),
+                bench::jint("nodes", mip.nodes),
+                bench::jint("lp_iterations", mip.lp_iterations)});
+  };
 
   // Several solver configurations run here; cap each below the sweep
   // budget so a pathological configuration cannot stall the bench.
@@ -53,6 +65,7 @@ int main() {
                  bench::fmt_seconds(timer.seconds()),
                  std::to_string(r.mip.nodes),
                  std::to_string(r.mip.lp_iterations)});
+    emit(name, r.status, r.mip, timer.seconds());
   };
   run_global("global, presolve on", true);
   run_global("global, presolve off", false);
@@ -73,6 +86,7 @@ int main() {
                  bench::fmt_seconds(timer.seconds()),
                  std::to_string(r.mip.nodes),
                  std::to_string(r.mip.lp_iterations)});
+    emit(name, r.status, r.mip, timer.seconds());
   };
   run_complete("complete, packing heuristic + presolve", true, true);
   run_complete("complete, no packing heuristic", false, true);

@@ -23,6 +23,7 @@ int main() {
 
   report::TextTable table({"point", "seed", "packer instances",
                            "ILP instances", "saved", "packer ms", "ILP ms"});
+  bench::BenchJson json("detailed_ilp");
   std::int64_t total_saved = 0;
   for (int point_index : {0, 1, 2, 4}) {
     const workload::Table3Point& point =
@@ -60,6 +61,13 @@ int main() {
                      std::to_string(packer_instances - ilp_instances),
                      support::format_fixed(packer_ms, 2),
                      support::format_fixed(ilp_ms, 1)});
+      json.write("instance",
+                 {bench::jint("point", point.index),
+                  bench::jint("seed", static_cast<std::int64_t>(seed)),
+                  bench::jint("packer_instances", packer_instances),
+                  bench::jint("ilp_instances", ilp_instances),
+                  bench::jnum("packer_ms", packer_ms),
+                  bench::jnum("ilp_ms", ilp_ms)});
     }
   }
   table.print(std::cout);

@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +45,142 @@ int env_max_point() {
 
 std::string fmt_seconds(double seconds) {
   return support::format_fixed(seconds, seconds < 10 ? 2 : 1);
+}
+
+std::vector<int> env_thread_sweep() {
+  const char* value = std::getenv("GMM_BENCH_THREADS");
+  const std::string text = value != nullptr ? value : "1,2,4,8";
+  std::vector<int> sweep;
+  for (const std::string& part : support::split(text, ',')) {
+    std::int64_t threads = 0;
+    if (support::parse_int(part, threads) && threads >= 1 && threads <= 256) {
+      sweep.push_back(static_cast<int>(threads));
+    }
+  }
+  if (sweep.empty()) sweep = {1, 2, 4, 8};
+  return sweep;
+}
+
+// ---- machine-readable benchmark output -----------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+JsonField jnum(const std::string& key, double value) {
+  return {key, json_double(value)};
+}
+
+JsonField jint(const std::string& key, std::int64_t value) {
+  return {key, std::to_string(value)};
+}
+
+JsonField jstr(const std::string& key, const std::string& value) {
+  return {key, "\"" + json_escape(value) + "\""};
+}
+
+JsonField jbool(const std::string& key, bool value) {
+  return {key, value ? "true" : "false"};
+}
+
+BenchJson::BenchJson(const std::string& bench) : bench_(bench) {
+  const char* dir = std::getenv("GMM_BENCH_JSON_DIR");
+  path_ = (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/"
+                                            : std::string()) +
+          "BENCH_" + bench + ".json";
+  out_.open(path_, std::ios::trunc);
+  if (!out_) {
+    std::fprintf(stderr, "[bench] cannot open %s for JSON output\n",
+                 path_.c_str());
+  }
+}
+
+void BenchJson::write(const std::string& record,
+                      const std::vector<JsonField>& fields) {
+  if (!out_) return;
+  out_ << "{\"bench\":\"" << json_escape(bench_) << "\",\"record\":\""
+       << json_escape(record) << "\"";
+  for (const JsonField& f : fields) {
+    out_ << ",\"" << json_escape(f.key) << "\":" << f.rendered;
+  }
+  out_ << "}\n";
+  out_.flush();
+}
+
+void run_thread_sweep(BenchJson& json, const std::string& record,
+                      const std::vector<JsonField>& extra_fields,
+                      const std::function<SweepOutcome(int)>& solve) {
+  const std::vector<int> counts = env_thread_sweep();
+  // Measure everything first so the speedup baseline does not depend on
+  // the sweep's order (GMM_BENCH_THREADS may put 1 anywhere, or skip it).
+  std::vector<SweepOutcome> outcomes;
+  outcomes.reserve(counts.size());
+  for (const int threads : counts) outcomes.push_back(solve(threads));
+  double baseline = outcomes.front().seconds;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 1) {
+      baseline = outcomes[i].seconds;
+      break;
+    }
+  }
+
+  std::printf("%8s %10s %10s %12s %14s %12s\n", "threads", "seconds",
+              "speedup", "B&B nodes", "LP iterations", "objective");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    const double speedup = o.seconds > 0 ? baseline / o.seconds : 0.0;
+    std::printf("%8d %10.3f %9.2fx %12lld %14lld %12.0f\n", counts[i],
+                o.seconds, speedup, static_cast<long long>(o.nodes),
+                static_cast<long long>(o.lp_iterations), o.objective);
+    std::vector<JsonField> fields = extra_fields;
+    fields.push_back(jint("threads", counts[i]));
+    fields.push_back(jnum("seconds", o.seconds));
+    fields.push_back(jnum("speedup", speedup));
+    fields.push_back(jint("nodes", o.nodes));
+    fields.push_back(jint("lp_iterations", o.lp_iterations));
+    fields.push_back(jnum("objective", o.objective));
+    fields.push_back(jstr("status", o.status));
+    json.write(record, fields);
+  }
+  std::printf("(JSON mirror: %s)\n", json.path().c_str());
 }
 
 namespace {

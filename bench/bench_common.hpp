@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,5 +43,66 @@ std::vector<Table3Row> run_or_load_table3_sweep();
 
 /// Format seconds with one decimal, like the paper's tables.
 std::string fmt_seconds(double seconds);
+
+/// Solver thread counts to sweep, from GMM_BENCH_THREADS (comma-separated,
+/// default "1,2,4,8").
+std::vector<int> env_thread_sweep();
+
+/// One measurement of a thread-sweep solve.
+struct SweepOutcome {
+  double seconds = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t lp_iterations = 0;
+  double objective = 0.0;
+  std::string status;
+};
+
+// ---- machine-readable benchmark output -----------------------------------
+//
+// Every bench binary mirrors its headline numbers into
+// BENCH_<bench>.json — one JSON object per line, one line per benchmark
+// record — so successive PRs can diff a perf trajectory without parsing
+// the human tables.  $GMM_BENCH_JSON_DIR redirects the output directory
+// (default: the working directory).
+
+/// One pre-rendered key/value pair of a JSON record.
+struct JsonField {
+  std::string key;
+  std::string rendered;  // value as a JSON literal
+};
+
+JsonField jnum(const std::string& key, double value);
+JsonField jint(const std::string& key, std::int64_t value);
+JsonField jstr(const std::string& key, const std::string& value);
+JsonField jbool(const std::string& key, bool value);
+
+/// Line-per-record JSON writer for one bench binary.  The file is
+/// truncated on construction, so a bench run always leaves exactly its
+/// own records behind.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench);
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Append {"bench":...,"record":...,<fields...>} as one line.
+  void write(const std::string& record, const std::vector<JsonField>& fields);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Run `solve(threads)` for every env_thread_sweep() count, print an
+/// aligned table and mirror one JSON record per count (threads, seconds,
+/// speedup, nodes, lp_iterations, objective, status + `extra_fields`).
+/// The speedup baseline is the 1-thread entry wherever it appears in the
+/// sweep, or the first entry when the sweep omits 1.
+void run_thread_sweep(BenchJson& json, const std::string& record,
+                      const std::vector<JsonField>& extra_fields,
+                      const std::function<SweepOutcome(int threads)>& solve);
 
 }  // namespace gmm::bench

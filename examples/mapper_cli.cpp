@@ -1,104 +1,82 @@
 // Command-line mapper: the library as a standalone tool.
 //
-//   mapper_cli <board-file> <design-file> [--complete] [--csv] [--map]
+//   mapper_cli <board-file> <design-file>... [options]
+//
+// Options:
+//   --complete     solve the flat (complete) formulation instead of the
+//                  global/detailed pipeline (single-design mode only)
+//   --csv          machine-readable placement dump instead of tables
+//   --map          append the per-instance memory-map report
+//   --threads N    branch & bound workers per solve (default 1; 0 = all
+//                  hardware threads)
+//   --jobs N       map the given designs as one batch over an N-worker
+//                  pool (default: one worker per design, capped at the
+//                  hardware concurrency); implied when several design
+//                  files are given
 //
 // Reads the text formats of arch_io/design_io (see examples/data/ for
 // samples), runs the requested mapper, and prints the assignment,
-// placements and solve statistics.  --csv emits a machine-readable
-// placement dump on stdout instead of tables; --map appends the
-// per-instance memory-map report.
+// placements and solve statistics.  Batch mode parses the board once and
+// shares it read-only across every concurrent pipeline — the serving
+// pattern for many mapping requests against one device catalog.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "arch/arch_io.hpp"
 #include "design/design_io.hpp"
+#include "mapping/batch_mapper.hpp"
 #include "mapping/complete_mapper.hpp"
 #include "mapping/pipeline.hpp"
 #include "mapping/validate.hpp"
 #include "report/placement_report.hpp"
 #include "report/text_table.hpp"
 #include "support/string_util.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <board-file> <design-file> [--complete] [--csv]\n",
+               "usage: %s <board-file> <design-file>... [--complete] [--csv] "
+               "[--map] [--threads N] [--jobs N]\n",
                argv0);
   return 2;
 }
 
-}  // namespace
+bool parse_count(const char* text, int& out) {
+  std::int64_t value = 0;
+  if (!gmm::support::parse_int(text, value) || value < 0 || value > 1024) {
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
 
-int main(int argc, char** argv) {
+struct ParsedDesign {
+  std::string path;
+  gmm::design::Design design;
+};
+
+int report_single(const gmm::arch::Board& board,
+                  const gmm::design::Design& design, bool use_complete,
+                  bool csv, bool memory_map,
+                  const gmm::mapping::GlobalAssignment& assignment,
+                  const gmm::mapping::DetailedMapping& detailed,
+                  const gmm::mapping::SolveEffort& effort,
+                  gmm::lp::SolveStatus status) {
   using namespace gmm;
-  if (argc < 3) return usage(argv[0]);
-  bool use_complete = false;
-  bool csv = false;
-  bool memory_map = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--complete") == 0) {
-      use_complete = true;
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--map") == 0) {
-      memory_map = true;
-    } else {
-      return usage(argv[0]);
-    }
-  }
-
-  std::ifstream board_file(argv[1]);
-  if (!board_file) {
-    std::fprintf(stderr, "cannot open board file %s\n", argv[1]);
-    return 1;
-  }
-  const arch::BoardParseResult board = arch::parse_board(board_file);
-  if (!board.ok) {
-    std::fprintf(stderr, "%s: %s\n", argv[1], board.error.c_str());
-    return 1;
-  }
-  std::ifstream design_file(argv[2]);
-  if (!design_file) {
-    std::fprintf(stderr, "cannot open design file %s\n", argv[2]);
-    return 1;
-  }
-  const design::DesignParseResult parsed = design::parse_design(design_file);
-  if (!parsed.ok) {
-    std::fprintf(stderr, "%s: %s\n", argv[2], parsed.error.c_str());
-    return 1;
-  }
-
-  mapping::GlobalAssignment assignment;
-  mapping::DetailedMapping detailed;
-  mapping::SolveEffort effort;
-  lp::SolveStatus status;
-  if (use_complete) {
-    const mapping::CostTable table(parsed.design, board.board);
-    const mapping::CompleteResult r =
-        mapping::map_complete(parsed.design, board.board, table);
-    status = r.status;
-    assignment = r.assignment;
-    detailed = r.detailed;
-    effort = r.effort;
-  } else {
-    const mapping::PipelineResult r =
-        mapping::map_pipeline(parsed.design, board.board);
-    status = r.status;
-    assignment = r.assignment;
-    detailed = r.detailed;
-    effort = r.effort;
-  }
-
   if (status != lp::SolveStatus::kOptimal &&
       status != lp::SolveStatus::kFeasible) {
     std::fprintf(stderr, "mapping failed: %s\n", lp::to_string(status));
     return 1;
   }
-  const auto violations = mapping::validate_mapping(
-      parsed.design, board.board, assignment, detailed);
+  const auto violations =
+      mapping::validate_mapping(design, board, assignment, detailed);
   if (!violations.empty()) {
     std::fprintf(stderr, "mapping produced %zu legality violations!\n",
                  violations.size());
@@ -112,9 +90,9 @@ int main(int argc, char** argv) {
     std::printf("structure,type,instance,first_port,ports,config,offset_bits,"
                 "block_bits,kind\n");
     for (const mapping::PlacedFragment& f : detailed.fragments) {
-      const arch::BankType& type = board.board.type(f.type);
+      const arch::BankType& type = board.type(f.type);
       std::printf("%s,%s,%lld,%lld,%lld,%s,%lld,%lld,%s\n",
-                  parsed.design.at(f.ds).name.c_str(), type.name.c_str(),
+                  design.at(f.ds).name.c_str(), type.name.c_str(),
                   static_cast<long long>(f.instance),
                   static_cast<long long>(f.first_port),
                   static_cast<long long>(f.ports),
@@ -128,27 +106,150 @@ int main(int argc, char** argv) {
 
   std::printf("%s mapping of '%s' onto '%s': %s, objective %.0f (%.3fs)\n\n",
               use_complete ? "complete" : "global/detailed",
-              parsed.design.name().c_str(), board.board.name().c_str(),
+              design.name().c_str(), board.name().c_str(),
               lp::to_string(status), assignment.objective,
               effort.total_seconds());
   report::TextTable table({"Structure", "Depth x Width", "Bank type",
                            "Fragments"});
   table.set_alignment(0, report::Align::kLeft);
   table.set_alignment(2, report::Align::kLeft);
-  for (std::size_t d = 0; d < parsed.design.size(); ++d) {
-    const design::DataStructure& ds = parsed.design.at(d);
+  for (std::size_t d = 0; d < design.size(); ++d) {
+    const design::DataStructure& ds = design.at(d);
     table.add_row({ds.name,
                    std::to_string(ds.depth) + "x" + std::to_string(ds.width),
-                   board.board.type(static_cast<std::size_t>(
-                                        assignment.type_of[d]))
+                   board.type(static_cast<std::size_t>(assignment.type_of[d]))
                        .name,
                    std::to_string(detailed.fragment_count(d))});
   }
   table.print(std::cout);
   if (memory_map) {
     std::printf("\n");
-    report::write_placement_report(std::cout, parsed.design, board.board,
-                                   detailed);
+    report::write_placement_report(std::cout, design, board, detailed);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmm;
+  bool use_complete = false;
+  bool csv = false;
+  bool memory_map = false;
+  int threads = 1;
+  int jobs = 0;  // 0 = auto (one per design, capped at hardware)
+  bool jobs_given = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--complete") == 0) {
+      use_complete = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--map") == 0) {
+      memory_map = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], threads)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], jobs)) return usage(argv[0]);
+      jobs_given = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) return usage(argv[0]);
+
+  std::ifstream board_file(positional[0]);
+  if (!board_file) {
+    std::fprintf(stderr, "cannot open board file %s\n", positional[0]);
+    return 1;
+  }
+  const arch::BoardParseResult board = arch::parse_board(board_file);
+  if (!board.ok) {
+    std::fprintf(stderr, "%s: %s\n", positional[0], board.error.c_str());
+    return 1;
+  }
+
+  std::vector<ParsedDesign> designs;
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    std::ifstream design_file(positional[i]);
+    if (!design_file) {
+      std::fprintf(stderr, "cannot open design file %s\n", positional[i]);
+      return 1;
+    }
+    design::DesignParseResult parsed = design::parse_design(design_file);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s: %s\n", positional[i], parsed.error.c_str());
+      return 1;
+    }
+    designs.push_back({positional[i], std::move(parsed.design)});
+  }
+
+  mapping::PipelineOptions pipeline_options;
+  pipeline_options.global.mip.num_threads = threads;
+
+  // ---- single-design mode ----------------------------------------------
+  if (designs.size() == 1 && !jobs_given) {
+    const design::Design& design = designs[0].design;
+    if (use_complete) {
+      const mapping::CostTable table(design, board.board);
+      mapping::CompleteOptions complete_options;
+      complete_options.mip.num_threads = threads;
+      const mapping::CompleteResult r =
+          mapping::map_complete(design, board.board, table, complete_options);
+      return report_single(board.board, design, true, csv, memory_map,
+                           r.assignment, r.detailed, r.effort, r.status);
+    }
+    const mapping::PipelineResult r =
+        mapping::map_pipeline(design, board.board, pipeline_options);
+    return report_single(board.board, design, false, csv, memory_map,
+                         r.assignment, r.detailed, r.effort, r.status);
+  }
+
+  // ---- batch mode ------------------------------------------------------
+  if (use_complete) {
+    std::fprintf(stderr, "--complete is a single-design option\n");
+    return usage(argv[0]);
+  }
+  if (jobs <= 0) {
+    jobs = static_cast<int>(
+        std::min(designs.size(),
+                 static_cast<std::size_t>(
+                     std::max(1u, std::thread::hardware_concurrency()))));
+  }
+  std::vector<mapping::BatchItem> items;
+  items.reserve(designs.size());
+  for (const ParsedDesign& d : designs) {
+    items.push_back({.design = &d.design, .board = &board.board});
+  }
+  const mapping::BatchResult batch = mapping::map_batch(
+      items, pipeline_options, static_cast<std::size_t>(jobs));
+
+  int exit_code = 0;
+  report::TextTable table({"Design", "Status", "Objective", "Fragments",
+                           "Solve (s)", "B&B nodes"});
+  table.set_alignment(0, report::Align::kLeft);
+  table.set_alignment(1, report::Align::kLeft);
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const mapping::PipelineResult& r = batch.results[i];
+    const bool ok = r.status == lp::SolveStatus::kOptimal ||
+                    r.status == lp::SolveStatus::kFeasible;
+    if (!ok) exit_code = 1;
+    table.add_row({designs[i].design.name(), lp::to_string(r.status),
+                   ok ? std::to_string(static_cast<long long>(
+                            r.assignment.objective))
+                      : "-",
+                   ok ? std::to_string(r.detailed.fragments.size()) : "-",
+                   support::format_fixed(r.effort.total_seconds(), 3),
+                   std::to_string(static_cast<long long>(r.effort.bnb_nodes))});
+  }
+  table.print(std::cout);
+  std::printf("\n%zu/%zu designs mapped in %.3fs over %d workers "
+              "(%.1f designs/s)\n",
+              batch.succeeded, batch.results.size(), batch.seconds, jobs,
+              batch.seconds > 0
+                  ? static_cast<double>(batch.results.size()) / batch.seconds
+                  : 0.0);
+  return exit_code;
 }

@@ -1,15 +1,20 @@
 #include "ilp/mip_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 
 #include "ilp/cover_cuts.hpp"
 #include "lp/presolve.hpp"
 #include "lp/standard_form.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace gmm::ilp {
@@ -28,7 +33,9 @@ struct BoundChange {
 };
 
 /// Immutable node payload; children share their ancestors through the
-/// parent chain, so a node costs O(1) memory regardless of depth.
+/// parent chain, so a node costs O(1) memory regardless of depth.  The
+/// shared_ptr chains are the only cross-thread node state and are never
+/// mutated after construction.
 struct NodeData {
   std::shared_ptr<const NodeData> parent;
   BoundChange change;
@@ -49,77 +56,205 @@ struct BestFirstOrder {
 };
 
 /// Per-variable pseudocost statistics for branching-variable selection.
+/// Kept PER WORKER: sharing them would either race or serialize every
+/// node on a lock, and they only steer node ordering, never correctness.
 struct Pseudocost {
   double up_sum = 0.0, down_sum = 0.0;
   int up_count = 0, down_count = 0;
 };
 
+/// Branch-and-bound search shared across `num_threads` workers.
+///
+/// Work sharing: one global best-first heap under `heap_mutex_`.  A worker
+/// pops the best open node, re-derives its bounds from the parent chain on
+/// its PRIVATE SimplexEngine (all engines share the immutable StandardForm
+/// built once at the root), and dives depth-first, pushing the deferred
+/// sibling of every branch back onto the shared heap.  The incumbent is
+/// published through a mutex-guarded vector plus a lock-free objective
+/// snapshot that pruning reads; a stale snapshot only ever makes pruning
+/// less aggressive, never unsound, so the returned objective is identical
+/// to the serial solver's (up to the configured optimality gap).
+///
+/// With num_threads == 1 the single worker drains the heap on the calling
+/// thread in exactly the serial order (best-first pops, FIFO tie-breaks,
+/// plunging dives), preserving the historical deterministic behavior.
 class Search {
  public:
   Search(const lp::Model& original, const MipOptions& options)
-      : original_(original), options_(options) {}
+      : original_(original), options_(options) {
+    if (options_.num_threads <= 0) {
+      options_.num_threads = static_cast<int>(
+          std::max(1u, std::thread::hardware_concurrency()));
+    }
+  }
 
   MipResult run();
 
  private:
-  // -- helpers ---------------------------------------------------------
-  void apply_path(const NodeData* node);
-  [[nodiscard]] Index pick_branch_var(const std::vector<double>& x) const;
-  void try_incumbent_from_reduced(const std::vector<double>& reduced_x);
-  void try_incumbent_original(const std::vector<double>& orig_x);
-  void run_rounding_heuristic(const std::vector<double>& reduced_x);
-  void run_user_heuristic(const std::vector<double>& reduced_x);
+  /// Per-thread search state: a private engine + pseudocosts.  Everything
+  /// a worker touches outside its own members goes through the Search
+  /// synchronization helpers.
+  class Worker {
+   public:
+    explicit Worker(Search& search)
+        : s_(search), engine_(*search.sf_) {
+      pcost_.assign(search.reduced_->num_vars(), Pseudocost{});
+    }
+
+    /// Pop/dive until the heap drains or a limit fires.
+    void loop();
+
+    [[nodiscard]] std::int64_t lp_iterations() const { return lp_iterations_; }
+    [[nodiscard]] std::int64_t refactorizations() const {
+      return engine_.stats().refactorizations;
+    }
+    [[nodiscard]] bool popped_any() const { return popped_any_; }
+    [[nodiscard]] double last_popped_bound() const {
+      return last_popped_bound_;
+    }
+
+   private:
+    void apply_path(const NodeData* node);
+    [[nodiscard]] Index pick_branch_var(const std::vector<double>& x) const;
+    void run_rounding_heuristic(const std::vector<double>& reduced_x);
+    void run_user_heuristic(const std::vector<double>& reduced_x);
+    /// Solve the engine's current LP; returns the simplex status.
+    SolveStatus solve_node_lp();
+    /// Process one node: solve, prune/bound/branch; dives depth-first.
+    void dive(std::shared_ptr<const NodeData> node);
+
+    Search& s_;
+    lp::SimplexEngine engine_;
+    std::vector<Pseudocost> pcost_;  // indexed by reduced column
+    std::int64_t lp_iterations_ = 0;
+    // Bound of the last node this worker started processing: when the
+    // search is stopped early, the worker's (possibly abandoned) subtree
+    // is bounded below by it, so it feeds MipResult::best_bound.
+    double last_popped_bound_ = -kInf;
+    bool popped_any_ = false;
+  };
+
+  // -- cross-worker helpers --------------------------------------------
   [[nodiscard]] double prune_threshold() const;
-  [[nodiscard]] bool limits_hit();
-  /// Solve the engine's current LP; returns the simplex status.
-  SolveStatus solve_node_lp();
-  /// Process one node: solve, prune/bound/branch; dives depth-first.
-  void dive(std::shared_ptr<const NodeData> node);
+  /// Check time/node limits; may request a stop.  Cheap enough per node.
+  bool limits_hit();
+  /// Record a stop reason and wake every waiting worker.  Numerical
+  /// failure dominates any other reason; otherwise the first one wins.
+  void request_stop(SolveStatus status);
+  /// Validate an ORIGINAL-space candidate and install it if it improves
+  /// the incumbent.
+  void offer_incumbent(const std::vector<double>& orig_x);
+  void offer_incumbent_reduced(const std::vector<double>& reduced_x);
+  void push_open(double bound, std::shared_ptr<const NodeData> data);
 
   const lp::Model& original_;
   MipOptions options_;
 
+  // Immutable after root setup; shared read-only by every worker.
   lp::PresolveResult pre_;
   lp::Model working_;  // presolved model plus any root cover cuts
   const lp::Model* reduced_ = nullptr;
   std::unique_ptr<lp::StandardForm> sf_;
-  std::unique_ptr<lp::SimplexEngine> engine_;
   std::vector<Index> int_cols_;
-  std::vector<Pseudocost> pcost_;  // indexed by reduced column
 
+  // Shared open-node heap + idle/termination tracking.
+  std::mutex heap_mutex_;
+  std::condition_variable heap_cv_;
   std::priority_queue<OpenNode, std::vector<OpenNode>, BestFirstOrder> open_;
   std::uint64_t next_seq_ = 0;
+  int active_workers_ = 0;  // workers currently inside a dive
 
-  // Incumbent is kept in ORIGINAL variable space with TOTAL objective.
-  double incumbent_obj_ = kInf;
-  std::vector<double> incumbent_x_;
+  // Incumbent, in ORIGINAL variable space with TOTAL objective.  The
+  // atomic snapshot lets pruning read the objective without the mutex.
+  std::mutex incumbent_mutex_;
+  double incumbent_obj_ = kInf;       // guarded by incumbent_mutex_
+  std::vector<double> incumbent_x_;   // guarded by incumbent_mutex_
+  std::atomic<double> incumbent_snapshot_{kInf};
+
+  std::atomic<std::int64_t> nodes_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex stop_mutex_;
+  bool stop_requested_ = false;  // guarded by stop_mutex_
+  SolveStatus stop_status_ = SolveStatus::kOptimal;  // guarded by stop_mutex_
 
   support::WallTimer timer_;
   MipResult result_;
-  bool stop_ = false;
-  SolveStatus stop_status_ = SolveStatus::kOptimal;
 };
 
 double Search::prune_threshold() const {
+  const double incumbent =
+      incumbent_snapshot_.load(std::memory_order_relaxed);
   const double slack = std::max(options_.abs_gap,
-                                options_.rel_gap * std::abs(incumbent_obj_));
-  return incumbent_obj_ - slack;
+                                options_.rel_gap * std::abs(incumbent));
+  return incumbent - slack;
 }
 
 bool Search::limits_hit() {
-  if (stop_) return true;
+  if (stop_.load(std::memory_order_relaxed)) return true;
   if (timer_.seconds() > options_.time_limit_seconds) {
-    stop_ = true;
-    stop_status_ = SolveStatus::kTimeLimit;
-  } else if (result_.nodes >= options_.node_limit) {
-    stop_ = true;
-    stop_status_ = SolveStatus::kNodeLimit;
+    request_stop(SolveStatus::kTimeLimit);
+  } else if (nodes_.load(std::memory_order_relaxed) >= options_.node_limit) {
+    request_stop(SolveStatus::kNodeLimit);
   }
-  return stop_;
+  return stop_.load(std::memory_order_relaxed);
 }
 
-void Search::apply_path(const NodeData* node) {
-  engine_->reset_bounds();
+void Search::request_stop(SolveStatus status) {
+  {
+    // stop_requested_ (not the public stop_ flag) arbitrates the status:
+    // it is owned by stop_mutex_, so two concurrent requests cannot both
+    // see "first" and the numerical-failure-dominates rule holds.
+    const std::scoped_lock lock(stop_mutex_);
+    if (!stop_requested_ || status == SolveStatus::kNumericalFailure) {
+      stop_status_ = status;
+    }
+    stop_requested_ = true;
+  }
+  {
+    // The store must happen under heap_mutex_: a worker that evaluated
+    // its wait predicate just before this store would otherwise block
+    // AFTER the notify below and sleep through the stop forever.
+    const std::scoped_lock lock(heap_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  heap_cv_.notify_all();
+}
+
+void Search::offer_incumbent(const std::vector<double>& orig_x) {
+  if (!original_.is_feasible(orig_x, 1e-5)) return;
+  // Snap integers exactly before evaluating.
+  std::vector<double> snapped(orig_x);
+  for (Index j = 0; j < original_.num_vars(); ++j) {
+    if (original_.var_type(j) != lp::VarType::kContinuous) {
+      snapped[j] = std::round(snapped[j]);
+    }
+  }
+  const double obj = original_.objective_value(snapped);
+  {
+    const std::scoped_lock lock(incumbent_mutex_);
+    if (obj >= incumbent_obj_) return;
+    incumbent_obj_ = obj;
+    incumbent_x_ = std::move(snapped);
+    incumbent_snapshot_.store(obj, std::memory_order_relaxed);
+  }
+  GMM_LOG(kDebug) << "mip: new incumbent " << obj << " at node "
+                  << nodes_.load(std::memory_order_relaxed);
+}
+
+void Search::offer_incumbent_reduced(const std::vector<double>& reduced_x) {
+  offer_incumbent(lp::postsolve(pre_, reduced_x));
+}
+
+void Search::push_open(double bound, std::shared_ptr<const NodeData> data) {
+  {
+    const std::scoped_lock lock(heap_mutex_);
+    open_.push(OpenNode{bound, next_seq_++, std::move(data)});
+  }
+  heap_cv_.notify_one();
+}
+
+void Search::Worker::apply_path(const NodeData* node) {
+  engine_.reset_bounds();
   // Collect root->leaf order; later changes on the same variable must win.
   std::vector<const NodeData*> chain;
   for (const NodeData* p = node; p != nullptr; p = p->parent.get()) {
@@ -128,13 +263,13 @@ void Search::apply_path(const NodeData* node) {
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     const BoundChange& c = (*it)->change;
     if (c.var != lp::kInvalidIndex) {
-      engine_->set_column_bounds(c.var, c.lb, c.ub);
+      engine_.set_column_bounds(c.var, c.lb, c.ub);
     }
   }
-  engine_->refresh_basic_solution();
+  engine_.refresh_basic_solution();
 }
 
-Index Search::pick_branch_var(const std::vector<double>& x) const {
+Index Search::Worker::pick_branch_var(const std::vector<double>& x) const {
   // Two tiers: fractional variables that CARRY OBJECTIVE are branched
   // before zero-cost ones.  Zero-cost integers (e.g. the symmetric
   // placement counts of the complete memory-mapping formulation) cannot
@@ -146,10 +281,10 @@ Index Search::pick_branch_var(const std::vector<double>& x) const {
   Index best = lp::kInvalidIndex;
   double best_score = -1.0;
   bool best_has_cost = false;
-  for (const Index j : int_cols_) {
+  for (const Index j : s_.int_cols_) {
     const double frac = x[j] - std::floor(x[j]);
     if (frac < kIntTol || frac > 1.0 - kIntTol) continue;
-    const bool has_cost = reduced_->obj(j) != 0.0;
+    const bool has_cost = s_.reduced_->obj(j) != 0.0;
     if (best_has_cost && !has_cost) continue;
     const Pseudocost& pc = pcost_[j];
     double score;
@@ -170,67 +305,46 @@ Index Search::pick_branch_var(const std::vector<double>& x) const {
   return best;
 }
 
-void Search::try_incumbent_original(const std::vector<double>& orig_x) {
-  if (!original_.is_feasible(orig_x, 1e-5)) return;
-  // Snap integers exactly before evaluating.
-  std::vector<double> snapped(orig_x);
-  for (Index j = 0; j < original_.num_vars(); ++j) {
-    if (original_.var_type(j) != lp::VarType::kContinuous) {
-      snapped[j] = std::round(snapped[j]);
-    }
-  }
-  const double obj = original_.objective_value(snapped);
-  if (obj < incumbent_obj_) {
-    incumbent_obj_ = obj;
-    incumbent_x_ = std::move(snapped);
-    GMM_LOG(kDebug) << "mip: new incumbent " << obj << " at node "
-                    << result_.nodes;
-  }
-}
-
-void Search::try_incumbent_from_reduced(const std::vector<double>& reduced_x) {
-  try_incumbent_original(lp::postsolve(pre_, reduced_x));
-}
-
-void Search::run_rounding_heuristic(const std::vector<double>& reduced_x) {
+void Search::Worker::run_rounding_heuristic(
+    const std::vector<double>& reduced_x) {
   std::vector<double> rounded(reduced_x);
-  for (const Index j : int_cols_) rounded[j] = std::round(rounded[j]);
-  if (reduced_->is_feasible(rounded, 1e-6)) {
-    try_incumbent_from_reduced(rounded);
+  for (const Index j : s_.int_cols_) rounded[j] = std::round(rounded[j]);
+  if (s_.reduced_->is_feasible(rounded, 1e-6)) {
+    s_.offer_incumbent_reduced(rounded);
   }
 }
 
-void Search::run_user_heuristic(const std::vector<double>& reduced_x) {
-  if (!options_.primal_heuristic) return;
+void Search::Worker::run_user_heuristic(const std::vector<double>& reduced_x) {
+  if (!s_.options_.primal_heuristic) return;
   const auto candidate =
-      options_.primal_heuristic(lp::postsolve(pre_, reduced_x));
-  if (candidate.has_value()) try_incumbent_original(*candidate);
+      s_.options_.primal_heuristic(lp::postsolve(s_.pre_, reduced_x));
+  if (candidate.has_value()) s_.offer_incumbent(*candidate);
 }
 
-SolveStatus Search::solve_node_lp() {
-  lp::SimplexOptions simplex = options_.simplex;
-  if (options_.time_limit_seconds < kInf) {
+SolveStatus Search::Worker::solve_node_lp() {
+  lp::SimplexOptions simplex = s_.options_.simplex;
+  if (s_.options_.time_limit_seconds < kInf) {
     simplex.time_limit_seconds =
-        std::max(0.0, options_.time_limit_seconds - timer_.seconds());
+        std::max(0.0, s_.options_.time_limit_seconds - s_.timer_.seconds());
   }
-  const std::int64_t before = engine_->stats().iterations;
-  SolveStatus status = engine_->solve(simplex);
+  const std::int64_t before = engine_.stats().iterations;
+  SolveStatus status = engine_.solve(simplex);
   if (status == SolveStatus::kNumericalFailure ||
       status == SolveStatus::kIterationLimit) {
     // Cold restart once; the all-logical basis is always dual feasible.
     GMM_LOG(kWarn) << "mip: node LP " << to_string(status)
                    << ", retrying from a cold basis";
-    engine_->reset_to_logical_basis();
-    status = engine_->solve(simplex);
+    engine_.reset_to_logical_basis();
+    status = engine_.solve(simplex);
   }
-  result_.lp_iterations += engine_->stats().iterations - before;
+  lp_iterations_ += engine_.stats().iterations - before;
   return status;
 }
 
-void Search::dive(std::shared_ptr<const NodeData> node) {
+void Search::Worker::dive(std::shared_ptr<const NodeData> node) {
   // Entry contract: bounds + basic solution reflect `node`; LP not yet
   // solved.  Each loop iteration processes one node and either prunes
-  // (return) or pushes one child to the heap and follows the other.
+  // (return) or pushes one child to the shared heap and follows the other.
   //
   // The pending_* locals carry the previous iteration's branching decision
   // so the followed child's LP objective can feed the pseudocosts.
@@ -240,26 +354,25 @@ void Search::dive(std::shared_ptr<const NodeData> node) {
   double pending_parent_obj = 0.0;
 
   while (true) {
-    if (limits_hit()) return;
-    ++result_.nodes;
+    if (s_.limits_hit()) return;
+    const std::int64_t node_ordinal =
+        s_.nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
 
     const SolveStatus lp_status = solve_node_lp();
     if (lp_status == SolveStatus::kInfeasible) return;  // pruned
     if (lp_status == SolveStatus::kTimeLimit) {
-      stop_ = true;
-      stop_status_ = SolveStatus::kTimeLimit;
+      s_.request_stop(SolveStatus::kTimeLimit);
       return;
     }
     if (lp_status != SolveStatus::kOptimal) {
-      stop_ = true;
-      stop_status_ = SolveStatus::kNumericalFailure;
       GMM_LOG(kError) << "mip: unrecoverable node LP status "
                       << to_string(lp_status);
+      s_.request_stop(SolveStatus::kNumericalFailure);
       return;
     }
 
     const double node_bound =
-        engine_->objective_value() + pre_.objective_offset;
+        engine_.objective_value() + s_.pre_.objective_offset;
 
     if (pending_var != lp::kInvalidIndex) {
       const double degradation =
@@ -275,22 +388,25 @@ void Search::dive(std::shared_ptr<const NodeData> node) {
       pending_var = lp::kInvalidIndex;
     }
 
-    if (node_bound >= prune_threshold()) return;  // bound-pruned
+    if (node_bound >= s_.prune_threshold()) return;  // bound-pruned
 
-    const std::vector<double> x = engine_->structural_solution();
+    const std::vector<double> x = engine_.structural_solution();
     const Index branch_var = pick_branch_var(x);
     if (branch_var == lp::kInvalidIndex) {
       // Integral: candidate incumbent.
-      try_incumbent_from_reduced(x);
+      s_.offer_incumbent_reduced(x);
       return;
     }
 
-    if (options_.primal_heuristic &&
-        result_.nodes %
-                std::max<std::int64_t>(1, options_.heuristic_period) ==
-            1) {
+    // (ordinal-1) % N == 0 runs at the first node and every N after it;
+    // the historical `ordinal % N == 1` picked the same nodes for N > 1
+    // but was never true for N == 1, silently disabling "every node".
+    if (s_.options_.primal_heuristic &&
+        (node_ordinal - 1) %
+                std::max<std::int64_t>(1, s_.options_.heuristic_period) ==
+            0) {
       run_user_heuristic(x);
-    } else if (result_.nodes % 64 == 1) {
+    } else if (node_ordinal % 64 == 1) {
       run_rounding_heuristic(x);
     }
 
@@ -302,8 +418,8 @@ void Search::dive(std::shared_ptr<const NodeData> node) {
     const bool up_first = frac > 0.5;
 
     const BoundChange up{branch_var, floor_v + 1.0,
-                         engine_->column_ub(branch_var)};
-    const BoundChange down{branch_var, engine_->column_lb(branch_var),
+                         engine_.column_ub(branch_var)};
+    const BoundChange down{branch_var, engine_.column_lb(branch_var),
                            floor_v};
     const BoundChange& follow = up_first ? up : down;
     const BoundChange& defer = up_first ? down : up;
@@ -317,16 +433,56 @@ void Search::dive(std::shared_ptr<const NodeData> node) {
     defer_data->change = defer;
     defer_data->depth = follow_data->depth;
 
-    open_.push(OpenNode{node_bound, next_seq_++, std::move(defer_data)});
+    s_.push_open(node_bound, std::move(defer_data));
 
-    engine_->set_column_bounds(branch_var, follow.lb, follow.ub);
-    engine_->refresh_basic_solution();
+    engine_.set_column_bounds(branch_var, follow.lb, follow.ub);
+    engine_.refresh_basic_solution();
 
     pending_var = branch_var;
     pending_up = up_first;
     pending_frac = frac;
     pending_parent_obj = node_bound;
     node = std::move(follow_data);
+  }
+}
+
+void Search::Worker::loop() {
+  std::unique_lock lock(s_.heap_mutex_);
+  while (true) {
+    s_.heap_cv_.wait(lock, [this] {
+      return s_.stop_.load(std::memory_order_relaxed) ||
+             !s_.open_.empty() || s_.active_workers_ == 0;
+    });
+    if (s_.stop_.load(std::memory_order_relaxed)) break;
+    if (s_.open_.empty()) {
+      if (s_.active_workers_ == 0) {
+        // Search complete.  Wake the siblings: this state can be REACHED
+        // by a worker that popped the final node and discarded it in the
+        // pruned-while-queued branch below — that path never touches
+        // active_workers_, so the post-dive notification does not fire
+        // and sleeping workers would otherwise never observe completion.
+        s_.heap_cv_.notify_all();
+        break;
+      }
+      continue;  // woken while another worker may still produce nodes
+    }
+    OpenNode top = s_.open_.top();
+    s_.open_.pop();
+    if (top.bound >= s_.prune_threshold()) continue;  // pruned while queued
+    last_popped_bound_ = top.bound;
+    popped_any_ = true;
+    ++s_.active_workers_;
+    lock.unlock();
+
+    apply_path(top.data.get());
+    dive(std::move(top.data));
+
+    lock.lock();
+    --s_.active_workers_;
+    if (s_.open_.empty() && s_.active_workers_ == 0) {
+      // Nothing left and nobody producing: wake idle workers to exit.
+      s_.heap_cv_.notify_all();
+    }
   }
 }
 
@@ -351,8 +507,7 @@ MipResult Search::run() {
   working_ = pre_.reduced;
   reduced_ = &working_;
   if (reduced_->num_vars() == 0) {
-    std::vector<double> x = lp::postsolve(pre_, {});
-    try_incumbent_original(x);
+    offer_incumbent(lp::postsolve(pre_, {}));
     result_.status = incumbent_x_.empty() ? SolveStatus::kInfeasible
                                           : SolveStatus::kOptimal;
     result_.objective = incumbent_obj_;
@@ -367,65 +522,94 @@ MipResult Search::run() {
       int_cols_.push_back(j);
     }
   }
-  pcost_.assign(reduced_->num_vars(), Pseudocost{});
 
   sf_ = std::make_unique<lp::StandardForm>(
       lp::StandardForm::build(*reduced_));
-  engine_ = std::make_unique<lp::SimplexEngine>(*sf_);
 
   // ---- root cutting planes ----------------------------------------------
   // Separate knapsack cover cuts on the root LP, rebuild, repeat.  Each
   // round pays a model rebuild + cold solve, which the bound improvement
-  // repays many times over on the mapping formulations.
-  for (int round = 0; round < options_.max_cut_rounds; ++round) {
-    if (limits_hit()) break;
-    lp::SimplexOptions simplex = options_.simplex;
-    if (options_.time_limit_seconds < kInf) {
-      simplex.time_limit_seconds =
-          std::max(0.0, options_.time_limit_seconds - timer_.seconds());
+  // repays many times over on the mapping formulations.  Serial: the cut
+  // rounds mutate the model every worker will share.
+  std::int64_t root_refactorizations = 0;
+  {
+    auto root_engine = std::make_unique<lp::SimplexEngine>(*sf_);
+    for (int round = 0; round < options_.max_cut_rounds; ++round) {
+      if (limits_hit()) break;
+      lp::SimplexOptions simplex = options_.simplex;
+      if (options_.time_limit_seconds < kInf) {
+        simplex.time_limit_seconds =
+            std::max(0.0, options_.time_limit_seconds - timer_.seconds());
+      }
+      const std::int64_t before = root_engine->stats().iterations;
+      const SolveStatus root_status = root_engine->solve(simplex);
+      result_.lp_iterations += root_engine->stats().iterations - before;
+      if (root_status != SolveStatus::kOptimal) break;
+      const std::vector<double> x = root_engine->structural_solution();
+      const std::vector<CoverCut> cuts = separate_cover_cuts(working_, x);
+      if (cuts.empty()) break;
+      for (const CoverCut& cut : cuts) {
+        lp::LinExpr expr;
+        for (const Index var : cut.vars) expr.add(var, 1.0);
+        working_.add_row(expr, -kInf, cut.rhs);
+      }
+      result_.cover_cuts += static_cast<std::int64_t>(cuts.size());
+      sf_ =
+          std::make_unique<lp::StandardForm>(lp::StandardForm::build(working_));
+      root_engine = std::make_unique<lp::SimplexEngine>(*sf_);
     }
-    const std::int64_t before = engine_->stats().iterations;
-    const SolveStatus root_status = engine_->solve(simplex);
-    result_.lp_iterations += engine_->stats().iterations - before;
-    if (root_status != SolveStatus::kOptimal) break;
-    const std::vector<double> x = engine_->structural_solution();
-    const std::vector<CoverCut> cuts = separate_cover_cuts(working_, x);
-    if (cuts.empty()) break;
-    for (const CoverCut& cut : cuts) {
-      lp::LinExpr expr;
-      for (const Index var : cut.vars) expr.add(var, 1.0);
-      working_.add_row(expr, -kInf, cut.rhs);
-    }
-    result_.cover_cuts += static_cast<std::int64_t>(cuts.size());
-    sf_ = std::make_unique<lp::StandardForm>(lp::StandardForm::build(working_));
-    engine_ = std::make_unique<lp::SimplexEngine>(*sf_);
+    root_refactorizations = root_engine->stats().refactorizations;
   }
 
   // ---- root ------------------------------------------------------------
-  open_.push(OpenNode{-kInf, next_seq_++, nullptr});
+  push_open(-kInf, nullptr);
 
-  // ---- main loop ---------------------------------------------------------
-  double heap_best_bound = -kInf;
-  while (!open_.empty() && !limits_hit()) {
-    OpenNode top = open_.top();
-    open_.pop();
-    if (top.bound >= prune_threshold()) continue;  // pruned while queued
-    heap_best_bound = top.bound;
-    apply_path(top.data.get());
-    dive(std::move(top.data));
+  // ---- main search -----------------------------------------------------
+  std::vector<std::unique_ptr<Worker>> workers(
+      static_cast<std::size_t>(options_.num_threads));
+  if (options_.num_threads <= 1) {
+    // Serial path: one worker on the calling thread, draining the heap in
+    // the exact historical order.
+    workers[0] = std::make_unique<Worker>(*this);
+    workers[0]->loop();
+  } else {
+    support::ThreadPool pool(static_cast<std::size_t>(options_.num_threads));
+    for (std::size_t t = 0; t < workers.size(); ++t) {
+      pool.submit([this, &workers, t] {
+        // Engine construction is O(m^2) per worker; build it inside the
+        // task so the setup cost itself is parallel.
+        workers[t] = std::make_unique<Worker>(*this);
+        workers[t]->loop();
+      });
+    }
+    pool.wait_idle();
   }
 
   // ---- wrap up -----------------------------------------------------------
-  result_.simplex_refactorizations = engine_->stats().refactorizations;
+  result_.simplex_refactorizations = root_refactorizations;
+  for (const auto& worker : workers) {
+    result_.lp_iterations += worker->lp_iterations();
+    result_.simplex_refactorizations += worker->refactorizations();
+  }
+  result_.nodes = nodes_.load(std::memory_order_relaxed);
   result_.seconds = timer_.seconds();
   result_.objective = incumbent_obj_;
   result_.x = std::move(incumbent_x_);
-  if (stop_) {
-    // Remaining open nodes bound the optimum from below.
-    double bound = heap_best_bound;
+  if (stop_.load(std::memory_order_relaxed)) {
+    // Remaining open nodes and abandoned in-flight subtrees bound the
+    // optimum from below.
+    double bound = kInf;
+    for (const auto& worker : workers) {
+      if (worker->popped_any()) {
+        bound = std::min(bound, worker->last_popped_bound());
+      }
+    }
     if (!open_.empty()) bound = std::min(bound, open_.top().bound);
-    result_.best_bound = result_.x.empty() ? bound : std::min(bound, incumbent_obj_);
-    result_.status = result_.x.empty() ? stop_status_ : SolveStatus::kFeasible;
+    if (bound == kInf) bound = -kInf;  // stopped before any node ran
+    result_.best_bound =
+        result_.x.empty() ? bound : std::min(bound, incumbent_obj_);
+    result_.status =
+        result_.x.empty() ? stop_status_ : SolveStatus::kFeasible;
     if (stop_status_ == SolveStatus::kNumericalFailure) {
       result_.status = SolveStatus::kNumericalFailure;
     }

@@ -11,11 +11,17 @@
 //   * incumbents from integral LP relaxations, an optional user-supplied
 //     primal heuristic (the complete memory mapper injects its packing
 //     repair here), and the dive itself;
-//   * node bases snapshotted via shared_ptr so two siblings share one
-//     copy; a memory cap degrades gracefully to cold restarts.
+//   * node payloads are immutable parent-chain links shared via
+//     shared_ptr, so a node costs O(1) memory at any depth;
+//   * optional parallel search (MipOptions::num_threads): workers share
+//     one best-first heap and one incumbent while each owns a private
+//     dual-simplex engine over the shared standard form.
 //
-// Determinism: given the same model and options the search is fully
-// deterministic (no randomness; ties broken by index/rotation).
+// Determinism: with num_threads == 1 (the default), given the same model
+// and options the search is fully deterministic (no randomness; ties
+// broken by index/rotation).  With more threads the node ORDER varies,
+// but the returned objective is identical up to the optimality gap —
+// pruning only ever uses proven bounds.
 #pragma once
 
 #include <functional>
@@ -31,6 +37,9 @@ namespace gmm::ilp {
 /// Optional primal heuristic: receives the ORIGINAL-space fractional LP
 /// solution, returns an ORIGINAL-space integral candidate (or nullopt).
 /// The solver validates the candidate against the model before accepting.
+/// With num_threads > 1 the heuristic may be invoked concurrently from
+/// several workers and must be safe to call in parallel (the built-in
+/// mapping heuristics only read captured state, so they qualify).
 using PrimalHeuristic = std::function<std::optional<std::vector<double>>(
     const std::vector<double>& lp_x)>;
 
@@ -54,6 +63,15 @@ struct MipOptions {
   /// Invoke the primal heuristic at the root and every N processed nodes.
   std::int64_t heuristic_period = 256;
   PrimalHeuristic primal_heuristic;
+  /// Branch-and-bound workers sharing one best-first node heap.  1 (the
+  /// default) runs today's fully serial, deterministic search on the
+  /// calling thread.  With k > 1 workers the node processing ORDER varies
+  /// between runs, so node/iteration counts differ, but every returned
+  /// objective is identical up to the optimality gap (exactly identical
+  /// when rel_gap and abs_gap are 0): pruning only ever uses proven
+  /// bounds, so no optimum can be lost to a race.  0 = hardware
+  /// concurrency.
+  int num_threads = 1;
 };
 
 struct MipResult {

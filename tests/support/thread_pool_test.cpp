@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace gmm::support {
@@ -45,6 +47,51 @@ TEST(ThreadPool, ParallelForSingleWorker) {
   std::vector<int> data(257, 0);
   parallel_for(pool, data.size(), [&data](std::size_t i) { data[i] = 1; });
   EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 257);
+}
+
+TEST(ThreadPool, SubmitDuringDrainStress) {
+  // Tasks keep submitting follow-up work while the main thread sits in
+  // wait_idle(): the drain must only complete once the whole tree of
+  // recursively spawned tasks has run.  This is the exact pattern of the
+  // parallel B&B search, where dives push deferred siblings mid-drain.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  // Fan-out tree: each task below `depth` spawns two children.
+  std::function<void(int)> spawn = [&](int depth) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (depth > 0) {
+      pool.submit([&spawn, depth] { spawn(depth - 1); });
+      pool.submit([&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int root = 0; root < 8; ++root) {
+    pool.submit([&spawn] { spawn(5); });
+  }
+  pool.wait_idle();
+  // 8 roots, each a complete binary tree of depth 5: 8 * (2^6 - 1) tasks.
+  EXPECT_EQ(executed.load(), 8 * 63);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAndWaiters) {
+  // Several external threads hammer submit() while another loops
+  // wait_idle(); every task must run exactly once and nothing may hang.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kPerSubmitter = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        pool.submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), 4 * kPerSubmitter);
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {
