@@ -1,0 +1,99 @@
+// Long-lived mapping server speaking the jsonl protocol on stdin/stdout.
+//
+//   mapper_serve [board-file]... [options]
+//
+// Options:
+//   --workers N   concurrent mapping workers (default 1; 0 = hardware)
+//   --queue N     admission bound, queued + in-flight (default 64)
+//   --threads N   max B&B workers a request may ask for (default 8)
+//   --verbose     log at info level (logs go to stderr; stdout carries
+//                 only protocol lines)
+//
+// Each board file becomes a catalog entry requests select with "board";
+// the first file is the default.  Requests may instead carry an inline
+// "board_text".  See README "Mapping service" for the protocol and
+// examples/serve_demo.sh for a scripted session.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/arch_io.hpp"
+#include "service/serve_loop.hpp"
+#include "support/log.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [board-file]... [--workers N] [--queue N] "
+               "[--threads N] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_count(const char* text, std::int64_t max, std::int64_t& out) {
+  return gmm::support::parse_int(text, out) && out >= 0 && out <= max;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmm;
+  service::ServiceOptions options;
+  std::vector<const char*> board_files;
+  for (int i = 1; i < argc; ++i) {
+    std::int64_t value = 0;
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1024, value)) return usage(argv[0]);
+      options.workers = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1'000'000, value) || value == 0) {
+        return usage(argv[0]);
+      }
+      options.max_pending = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1024, value) || value == 0) {
+        return usage(argv[0]);
+      }
+      options.max_threads_per_solve = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      support::set_log_level(support::LogLevel::kInfo);
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      board_files.push_back(argv[i]);
+    }
+  }
+
+  std::vector<arch::Board> boards;
+  boards.reserve(board_files.size());
+  for (const char* path : board_files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open board file %s\n", path);
+      return 1;
+    }
+    arch::BoardParseResult parsed = arch::parse_board(file);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s: %s\n", path, parsed.error.c_str());
+      return 1;
+    }
+    // The catalog is keyed by board name; a duplicate would silently
+    // shadow one file behind the other, so refuse to start instead.
+    for (const arch::Board& existing : boards) {
+      if (existing.name() == parsed.board.name()) {
+        std::fprintf(stderr, "%s: duplicate board name '%s'\n", path,
+                     parsed.board.name().c_str());
+        return 1;
+      }
+    }
+    boards.push_back(std::move(parsed.board));
+  }
+
+  return service::run_serve_loop(std::cin, std::cout, std::move(boards),
+                                 options);
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Scripted jsonl mapping-service session (README "Mapping service").
+#
+#   ./examples/serve_demo.sh [path-to-mapper_serve]
+#
+# Pipes a small conversation into mapper_serve: a liveness ping, two
+# mapping requests against the bundled XCV300 board (one by server-side
+# file path, one inline), a deliberately impossible 0 ms deadline that
+# comes back as status "timeout", and a graceful shutdown.  Responses
+# stream to stdout one JSON object per line.
+set -eu
+
+SERVE="${1:-./build/mapper_serve}"
+DATA="$(dirname "$0")/data"
+
+if [ ! -x "$SERVE" ]; then
+  echo "mapper_serve not found at $SERVE (build first, or pass its path)" >&2
+  exit 1
+fi
+
+"$SERVE" "$DATA/board_xcv300.txt" <<EOF
+{"id":"ping-1","method":"ping"}
+{"id":"filter","method":"map","design_path":"$DATA/design_filter.txt"}
+{"id":"inline","method":"map","design_text":"design tiny\nsegment coeffs depth 64 width 8\nsegment window depth 128 width 8\nconflicts all\n"}
+{"id":"hopeless","method":"map","design_path":"$DATA/design_fft.txt","deadline_ms":0}
+{"method":"shutdown"}
+EOF

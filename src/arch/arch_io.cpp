@@ -103,8 +103,10 @@ BoardParseResult parse_board_string(const std::string& text) {
 }
 
 void write_board(std::ostream& out, const Board& board) {
-  out << "board " << (board.name().empty() ? "unnamed" : board.name())
-      << "\n";
+  // A nameless board writes no 'board' line at all (parse leaves the name
+  // empty), so write -> parse round-trips exactly; the old "unnamed"
+  // placeholder silently renamed such boards on the way through.
+  if (!board.name().empty()) out << "board " << board.name() << "\n";
   for (const BankType& t : board.types()) {
     out << "banktype " << t.name << " instances " << t.instances << " ports "
         << t.ports << " rl " << t.read_latency << " wl " << t.write_latency

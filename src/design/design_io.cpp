@@ -129,8 +129,9 @@ DesignParseResult parse_design_string(const std::string& text) {
 }
 
 void write_design(std::ostream& out, const Design& design) {
-  out << "design " << (design.name().empty() ? "unnamed" : design.name())
-      << "\n";
+  // Nameless designs omit the 'design' line so the round-trip is exact
+  // (see write_board for the same rule).
+  if (!design.name().empty()) out << "design " << design.name() << "\n";
   for (const DataStructure& ds : design.structures()) {
     out << "segment " << ds.name << " depth " << ds.depth << " width "
         << ds.width;

@@ -136,6 +136,10 @@ class Search {
 
   // -- cross-worker helpers --------------------------------------------
   [[nodiscard]] double prune_threshold() const;
+  /// Wall-clock budget left before the nearer of the option time limit and
+  /// the cancel token's deadline (kInf when neither is armed); clamps the
+  /// per-LP time limits so a deadline interrupts even one long LP.
+  [[nodiscard]] double remaining_seconds() const;
   /// Check time/node limits; may request a stop.  Cheap enough per node.
   bool limits_hit();
   /// Record a stop reason and wake every waiting worker.  Numerical
@@ -189,9 +193,26 @@ double Search::prune_threshold() const {
   return incumbent - slack;
 }
 
+double Search::remaining_seconds() const {
+  double remaining = kInf;
+  if (options_.time_limit_seconds < kInf) {
+    remaining = options_.time_limit_seconds - timer_.seconds();
+  }
+  if (options_.cancel_token) {
+    remaining = std::min(remaining, options_.cancel_token->seconds_remaining());
+  }
+  return remaining;
+}
+
 bool Search::limits_hit() {
   if (stop_.load(std::memory_order_relaxed)) return true;
-  if (timer_.seconds() > options_.time_limit_seconds) {
+  // Cancellation outranks the deadline: a request cancelled after its
+  // deadline armed should still report "cancelled", not "timed out".
+  if (options_.cancel_token && options_.cancel_token->cancelled()) {
+    request_stop(SolveStatus::kCancelled);
+  } else if (timer_.seconds() > options_.time_limit_seconds ||
+             (options_.cancel_token &&
+              options_.cancel_token->deadline_passed())) {
     request_stop(SolveStatus::kTimeLimit);
   } else if (nodes_.load(std::memory_order_relaxed) >= options_.node_limit) {
     request_stop(SolveStatus::kNodeLimit);
@@ -323,9 +344,9 @@ void Search::Worker::run_user_heuristic(const std::vector<double>& reduced_x) {
 
 SolveStatus Search::Worker::solve_node_lp() {
   lp::SimplexOptions simplex = s_.options_.simplex;
-  if (s_.options_.time_limit_seconds < kInf) {
-    simplex.time_limit_seconds =
-        std::max(0.0, s_.options_.time_limit_seconds - s_.timer_.seconds());
+  const double remaining = s_.remaining_seconds();
+  if (remaining < kInf) {
+    simplex.time_limit_seconds = std::max(0.0, remaining);
   }
   const std::int64_t before = engine_.stats().iterations;
   SolveStatus status = engine_.solve(simplex);
@@ -537,9 +558,9 @@ MipResult Search::run() {
     for (int round = 0; round < options_.max_cut_rounds; ++round) {
       if (limits_hit()) break;
       lp::SimplexOptions simplex = options_.simplex;
-      if (options_.time_limit_seconds < kInf) {
-        simplex.time_limit_seconds =
-            std::max(0.0, options_.time_limit_seconds - timer_.seconds());
+      const double remaining = remaining_seconds();
+      if (remaining < kInf) {
+        simplex.time_limit_seconds = std::max(0.0, remaining);
       }
       const std::int64_t before = root_engine->stats().iterations;
       const SolveStatus root_status = root_engine->solve(simplex);
@@ -596,6 +617,7 @@ MipResult Search::run() {
   result_.objective = incumbent_obj_;
   result_.x = std::move(incumbent_x_);
   if (stop_.load(std::memory_order_relaxed)) {
+    result_.stop_reason = stop_status_;
     // Remaining open nodes and abandoned in-flight subtrees bound the
     // optimum from below.
     double bound = kInf;

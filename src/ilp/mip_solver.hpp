@@ -25,12 +25,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 #include "lp/types.hpp"
+#include "support/cancellation.hpp"
 
 namespace gmm::ilp {
 
@@ -72,10 +74,24 @@ struct MipOptions {
   /// bounds, so no optimum can be lost to a race.  0 = hardware
   /// concurrency.
   int num_threads = 1;
+  /// Optional cooperative stop request shared with the caller (the async
+  /// mapping service hands every request one).  `cancel()` stops the
+  /// search with kCancelled; an armed deadline stops it with kTimeLimit
+  /// and additionally clamps the per-node LP time limits, so a deadline
+  /// interrupts even a single long LP solve.  Both are polled at node
+  /// boundaries — two relaxed atomic loads, free at our node rates.
+  std::shared_ptr<const support::CancelToken> cancel_token;
 };
 
 struct MipResult {
   lp::SolveStatus status = lp::SolveStatus::kNumericalFailure;
+  /// Why the search stopped early (kTimeLimit / kNodeLimit / kCancelled /
+  /// kNumericalFailure); kOptimal when it ran to natural completion.
+  /// Lets callers distinguish "feasible because the tree was exhausted to
+  /// the gap" from "feasible because the deadline or a cancel cut the
+  /// search short" — `status` alone conflates those as kFeasible once an
+  /// incumbent exists.
+  lp::SolveStatus stop_reason = lp::SolveStatus::kOptimal;
   double objective = lp::kInf;   // incumbent value (minimization)
   double best_bound = -lp::kInf; // proven lower bound
   std::vector<double> x;         // incumbent, original variable space

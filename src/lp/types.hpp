@@ -41,7 +41,8 @@ enum class SolveStatus : std::uint8_t {
   kTimeLimit,
   kNodeLimit,
   kNumericalFailure,
-  kFeasible,  // MILP: incumbent found but optimality not proven
+  kFeasible,   // MILP: incumbent found but optimality not proven
+  kCancelled,  // stopped by a CancelToken before reaching a conclusion
 };
 
 /// Human-readable status name for logs and bench tables.
@@ -63,6 +64,8 @@ constexpr const char* to_string(SolveStatus s) {
       return "numerical-failure";
     case SolveStatus::kFeasible:
       return "feasible";
+    case SolveStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }

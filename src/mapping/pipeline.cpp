@@ -1,5 +1,8 @@
 #include "mapping/pipeline.hpp"
 
+#include <memory>
+
+#include "support/cancellation.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -17,7 +20,18 @@ PipelineResult map_pipeline(const design::Design& design,
   result.effort.preprocess_seconds = timer.seconds();
 
   GlobalOptions global_options = options.global;
+  const std::shared_ptr<const support::CancelToken>& token =
+      options.global.mip.cancel_token;
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    // Between retries the cancel token is the only brake: each global
+    // solve gets the per-solve time limit afresh, so without this check a
+    // cancelled or deadline-expired request could burn the whole retry
+    // budget after its caller has already given up on it.
+    if (token && token->should_stop()) {
+      result.status = token->cancelled() ? lp::SolveStatus::kCancelled
+                                         : lp::SolveStatus::kTimeLimit;
+      return result;
+    }
     GlobalResult global = map_global(design, board, table, global_options);
     result.model_size = global.model_size;
     result.effort.formulate_seconds += global.effort.formulate_seconds;

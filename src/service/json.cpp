@@ -1,0 +1,399 @@
+#include "service/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmm::service {
+
+namespace {
+
+/// Recursion cap: the protocol nests 3-4 levels; 64 tolerates any sane
+/// client while bounding stack use on hostile input.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    Json value;
+    if (!parse_value(value, 0)) {
+      result.error = error_ + " at byte " + std::to_string(pos_);
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error =
+          "trailing characters at byte " + std::to_string(pos_);
+      return result;
+    }
+    result.ok = true;
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string message) {
+    error_ = std::move(message);
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!literal("null", 4)) return false;
+        out = Json();
+        return true;
+      case 't':
+        if (!literal("true", 4)) return false;
+        out = Json(true);
+        return true;
+      case 'f':
+        if (!literal("false", 5)) return false;
+        out = Json(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(Json& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) return fail("invalid value");
+    // strtod accepts hex/inf/nan forms JSON forbids; re-check the charset.
+    for (const char* p = start; p < end; ++p) {
+      const char c = *p;
+      const bool ok = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                      c == '.' || c == 'e' || c == 'E';
+      if (!ok) return fail("invalid number");
+    }
+    if (!std::isfinite(value)) return fail("number out of range");
+    pos_ += static_cast<std::size_t>(end - start);
+    out = Json(value);
+    return true;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned lo = 0;
+              if (!parse_hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return fail("invalid surrogate pair");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return fail("unpaired surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_array(Json& out, int depth) {
+    ++pos_;  // '['
+    JsonArray items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = Json(std::move(items));
+      return true;
+    }
+    while (true) {
+      Json item;
+      if (!parse_value(item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') return fail("expected ',' or ']'");
+    }
+    out = Json(std::move(items));
+    return true;
+  }
+
+  bool parse_object(Json& out, int depth) {
+    ++pos_;  // '{'
+    JsonObject fields;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = Json(std::move(fields));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      fields[std::move(key)] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') return fail("expected ',' or '}'");
+    }
+    out = Json(std::move(fields));
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double value, std::string& out) {
+  // Integral doubles in the exact range print as integers so counts and
+  // ids round-trip without a spurious ".0"/exponent.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<long long>(value));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      dump_number(v.as_number(), out);
+      break;
+    case Json::Type::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case Json::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(key, out);
+        out.push_back(':');
+        dump_value(value, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Json::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const Json* field = find(key);
+  return field != nullptr && field->is_string() ? field->as_string()
+                                                : fallback;
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  const Json* field = find(key);
+  return field != nullptr && field->is_number() ? field->as_number()
+                                                : fallback;
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  const Json* field = find(key);
+  return field != nullptr && field->is_bool() ? field->as_bool() : fallback;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kNumber:
+      return a.number_ == b.number_;
+    case Json::Type::kString:
+      return a.string_ == b.string_;
+    case Json::Type::kArray:
+      return a.array_ == b.array_;
+    case Json::Type::kObject:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
+JsonParseResult parse_json(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace gmm::service

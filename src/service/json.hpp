@@ -1,0 +1,101 @@
+// Minimal self-contained JSON value type for the jsonl mapping service.
+//
+// The container has no third-party JSON dependency, so the service ships
+// its own ~300-line parser/writer covering exactly what the line protocol
+// needs: null/bool/number/string/array/object, UTF-8 pass-through with
+// \uXXXX escapes, a recursion-depth cap against adversarial input, and
+// deterministic (sorted-key, minimal-escape) single-line output so
+// responses diff cleanly in tests and logs.
+//
+// Numbers are doubles — the protocol's integers (ids are strings; counts,
+// milliseconds) all fit the 2^53 exact-integer range, and the writer
+// prints integral doubles without a fractional part so they round-trip
+// as integers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gmm::service {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// std::map: deterministic (sorted) key order in the writer for free.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(std::int64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const JsonArray& as_array() const { return array_; }
+  [[nodiscard]] JsonArray& as_array() { return array_; }
+  [[nodiscard]] const JsonObject& as_object() const { return object_; }
+  [[nodiscard]] JsonObject& as_object() { return object_; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  /// Typed field accessors with defaults, for tolerant request parsing.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = {}) const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Serialize as a single line (no trailing newline).
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;  // message with byte offset when !ok
+  Json value;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+JsonParseResult parse_json(const std::string& text);
+
+}  // namespace gmm::service

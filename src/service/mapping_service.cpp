@@ -1,0 +1,326 @@
+#include "service/mapping_service.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "arch/arch_io.hpp"
+#include "design/design_io.hpp"
+#include "mapping/complete_mapper.hpp"
+#include "mapping/pipeline.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace gmm::service {
+
+namespace {
+
+using lp::SolveStatus;
+
+/// Map a finished pipeline run onto a wire status.  The mip stop_reason
+/// disambiguates kFeasible results: an incumbent that survived a cancel
+/// or deadline is still reported under the stopping status (with the
+/// partial result attached) so clients see WHY their request ended.
+ResponseStatus classify(lp::SolveStatus status,
+                        const ilp::MipResult& mip) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return ResponseStatus::kOk;
+    case SolveStatus::kFeasible:
+      if (mip.stop_reason == SolveStatus::kCancelled) {
+        return ResponseStatus::kCancelled;
+      }
+      if (mip.stop_reason == SolveStatus::kTimeLimit) {
+        return ResponseStatus::kTimeout;
+      }
+      return ResponseStatus::kOk;
+    case SolveStatus::kCancelled:
+      return ResponseStatus::kCancelled;
+    case SolveStatus::kTimeLimit:
+      return ResponseStatus::kTimeout;
+    case SolveStatus::kInfeasible:
+      return ResponseStatus::kInfeasible;
+    default:
+      return ResponseStatus::kError;
+  }
+}
+
+}  // namespace
+
+MappingService::MappingService(std::vector<arch::Board> boards,
+                               ServiceOptions options, ResponseSink sink)
+    : boards_(std::move(boards)),
+      options_(options),
+      sink_(std::move(sink)) {
+  GMM_ASSERT(sink_ != nullptr, "MappingService needs a response sink");
+  for (std::size_t i = 0; i < boards_.size(); ++i) {
+    board_index_.emplace(boards_[i].name(), i);
+  }
+  pool_ = std::make_unique<support::ThreadPool>(options_.workers);
+}
+
+MappingService::~MappingService() { drain(); }
+
+const arch::Board* MappingService::find_board(const std::string& name) const {
+  if (name.empty()) return boards_.empty() ? nullptr : &boards_.front();
+  const auto it = board_index_.find(name);
+  return it == board_index_.end() ? nullptr : &boards_[it->second];
+}
+
+ServiceStats MappingService::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void MappingService::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void MappingService::handle(const Request& request) {
+  switch (request.method) {
+    case Method::kMap:
+      handle_map(request);
+      return;
+    case Method::kCancel: {
+      Response ack;
+      ack.id = request.id;
+      ack.method = "cancel";
+      ack.status = ResponseStatus::kOk;
+      ack.target = request.target;
+      {
+        const std::scoped_lock lock(mutex_);
+        const auto it = active_.find(request.target);
+        ack.found = it != active_.end();
+        if (ack.found) it->second->cancel();
+      }
+      sink_(ack);
+      return;
+    }
+    case Method::kPing: {
+      Response pong;
+      pong.id = request.id;
+      pong.method = "ping";
+      pong.status = ResponseStatus::kOk;
+      sink_(pong);
+      return;
+    }
+    case Method::kShutdown: {
+      // Draining is the serve loop's job (it must stop feeding requests
+      // first); acknowledge so a bare service user still gets a reply.
+      Response ack;
+      ack.id = request.id;
+      ack.method = "shutdown";
+      ack.status = ResponseStatus::kOk;
+      sink_(ack);
+      return;
+    }
+    case Method::kInvalid: {
+      Response err;
+      err.id = request.id;
+      err.status = ResponseStatus::kError;
+      err.error = request.error.empty() ? "invalid request" : request.error;
+      sink_(err);
+      return;
+    }
+  }
+}
+
+void MappingService::handle_map(const Request& request) {
+  Response reject;
+  reject.id = request.id;
+  reject.method = "map";
+  auto token = std::make_shared<support::CancelToken>();
+  {
+    const std::scoped_lock lock(mutex_);
+    if (active_.contains(request.id)) {
+      // kRejected (not kError) keeps the wire unambiguous: "rejected"
+      // always means THIS submission was refused at admission, never
+      // that the in-flight solve behind the id failed — so a client
+      // correlating by id cannot mistake it for the original request's
+      // terminal response.  Does NOT release the original's slot.
+      ++stats_.rejected;
+      reject.status = ResponseStatus::kRejected;
+      reject.error = "duplicate id '" + request.id + "' is still active";
+    } else if (pending_ >= options_.max_pending) {
+      ++stats_.rejected;
+      reject.status = ResponseStatus::kRejected;
+      reject.error = "queue full (" + std::to_string(options_.max_pending) +
+                     " pending)";
+    } else {
+      ++stats_.accepted;
+      ++pending_;
+      active_.emplace(request.id, token);
+      reject.status = ResponseStatus::kOk;  // marker: admitted
+    }
+  }
+  if (reject.status != ResponseStatus::kOk) {
+    sink_(reject);
+    return;
+  }
+  // The deadline clock starts at admission: queue wait counts.
+  if (request.map.deadline_ms >= 0) {
+    token->set_deadline_after_seconds(request.map.deadline_ms / 1000.0);
+  }
+  pool_->submit([this, id = request.id, map = request.map, token] {
+    run_map(id, map, token);
+  });
+}
+
+void MappingService::run_map(const std::string& id, const MapRequest& request,
+                             const support::CancelTokenPtr& token) {
+  Response response;
+  response.id = id;
+  response.method = "map";
+
+  // A request whose token fired while queued never starts a solve.
+  if (token->should_stop()) {
+    response.status = token->cancelled() ? ResponseStatus::kCancelled
+                                         : ResponseStatus::kTimeout;
+    finish(std::move(response));
+    return;
+  }
+
+  const auto bail = [&](std::string message) {
+    response.status = ResponseStatus::kError;
+    response.error = std::move(message);
+    finish(std::move(response));
+  };
+
+  // Resolve the board: inline text wins, else the named catalog entry.
+  arch::Board inline_board;
+  const arch::Board* board = nullptr;
+  if (!request.board_text.empty()) {
+    arch::BoardParseResult parsed =
+        arch::parse_board_string(request.board_text);
+    if (!parsed.ok) return bail("board_text: " + parsed.error);
+    inline_board = std::move(parsed.board);
+    board = &inline_board;
+  } else {
+    board = find_board(request.board_name);
+    if (board == nullptr) {
+      return bail(request.board_name.empty()
+                      ? "no boards loaded and no board_text given"
+                      : "unknown board '" + request.board_name + "'");
+    }
+  }
+
+  // Resolve the design: inline text or a server-side file.
+  std::string design_text = request.design_text;
+  if (design_text.empty()) {
+    std::ifstream file(request.design_path);
+    if (!file) return bail("cannot open '" + request.design_path + "'");
+    std::ostringstream content;
+    content << file.rdbuf();
+    design_text = content.str();
+  }
+  design::DesignParseResult parsed = design::parse_design_string(design_text);
+  if (!parsed.ok) return bail("design: " + parsed.error);
+  const design::Design& design = parsed.design;
+  if (design.size() == 0) return bail("design has no segments");
+
+  ilp::MipOptions mip;
+  mip.cancel_token = token;
+  mip.num_threads = std::min(
+      request.threads <= 0 ? options_.max_threads_per_solve : request.threads,
+      options_.max_threads_per_solve);
+
+  // Either formulation lands in the same (status, assignment, detailed,
+  // effort, mip) shape; only the retry counter is pipeline-specific.
+  lp::SolveStatus status = SolveStatus::kNumericalFailure;
+  mapping::GlobalAssignment assignment;
+  mapping::DetailedMapping detailed;
+  mapping::SolveEffort effort;
+  ilp::MipResult mip_result;
+  if (request.complete) {
+    const mapping::CostTable table(design, *board);
+    mapping::CompleteOptions options;
+    options.mip = mip;
+    mapping::CompleteResult result =
+        mapping::map_complete(design, *board, table, options);
+    status = result.status;
+    assignment = std::move(result.assignment);
+    detailed = std::move(result.detailed);
+    effort = result.effort;
+    mip_result = std::move(result.mip);
+  } else {
+    mapping::PipelineOptions options;
+    options.global.mip = mip;
+    mapping::PipelineResult result =
+        mapping::map_pipeline(design, *board, options);
+    status = result.status;
+    assignment = std::move(result.assignment);
+    detailed = std::move(result.detailed);
+    effort = result.effort;
+    mip_result = std::move(result.mip);
+    response.retries = result.retries;
+  }
+
+  response.status = classify(status, mip_result);
+  // A result payload only when the solve produced a usable mapping —
+  // i.e. detailed placement succeeded.  This excludes both a
+  // timeout/cancel/infeasible with no incumbent (whose
+  // default-constructed objective of 0 would read as a perfect score)
+  // and a retry-loop early exit whose stale global assignment never
+  // packed (objective without placements).
+  if (detailed.success && assignment.complete()) {
+    response.has_result = true;
+    response.solve_status = lp::to_string(status);
+    if (mip_result.stop_reason != SolveStatus::kOptimal) {
+      response.stop_reason = lp::to_string(mip_result.stop_reason);
+    }
+    response.objective = assignment.objective;
+    response.nodes = effort.bnb_nodes;
+    response.seconds = effort.total_seconds();
+  }
+  if (response.status == ResponseStatus::kError) {
+    response.error =
+        "solver failed: " + std::string(lp::to_string(status));
+  }
+  if (detailed.success) {
+    response.placements.reserve(detailed.fragments.size());
+    for (const mapping::PlacedFragment& f : detailed.fragments) {
+      const arch::BankType& type = board->type(f.type);
+      PlacementEntry entry;
+      entry.segment = design.at(f.ds).name;
+      entry.type = type.name;
+      entry.instance = f.instance;
+      entry.first_port = f.first_port;
+      entry.ports = f.ports;
+      if (f.config_index >= 0 &&
+          f.config_index < static_cast<int>(type.configs.size())) {
+        entry.config =
+            type.configs[static_cast<std::size_t>(f.config_index)].to_string();
+      }
+      entry.offset_bits = f.offset_bits;
+      entry.block_bits = f.block_bits;
+      entry.kind = mapping::to_string(f.kind);
+      response.placements.push_back(std::move(entry));
+    }
+  }
+  finish(std::move(response));
+}
+
+void MappingService::finish(Response response) {
+  // Deregister BEFORE sinking, so a cancel racing this completion is
+  // acked found:false once the terminal response is (about to be) on the
+  // wire — the protocol's "already finished" contract.  But decrement
+  // pending_ only AFTER the sink: drain() returning must guarantee every
+  // terminal response has been fully written, or a shutdown ack could
+  // overtake the final result.
+  {
+    const std::scoped_lock lock(mutex_);
+    active_.erase(response.id);
+  }
+  sink_(response);
+  {
+    const std::scoped_lock lock(mutex_);
+    --pending_;
+    ++stats_.completed;
+    if (response.status == ResponseStatus::kCancelled) ++stats_.cancelled;
+    if (response.status == ResponseStatus::kTimeout) ++stats_.timed_out;
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace gmm::service

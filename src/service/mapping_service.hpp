@@ -1,0 +1,119 @@
+// Long-lived asynchronous mapping service.
+//
+// The serving-path layer above mapping::map_batch: boards are parsed once
+// at startup (plus optional per-request inline boards) and shared
+// read-only, while map requests fan out over a ThreadPool.  On top of the
+// batch driver's design it adds what a long-lived server needs:
+//
+//   * a BOUNDED admission queue — requests beyond `max_pending`
+//     (queued + in-flight) are rejected immediately instead of building
+//     unbounded memory pressure under overload;
+//   * per-request DEADLINES — "deadline_ms" arms a CancelToken deadline
+//     at admission, so queue wait counts against the budget and the
+//     branch & bound's LP time limits are clamped to what remains;
+//   * cooperative CANCELLATION — a cancel request flips the token, which
+//     aborts an in-flight solve at its next node boundary and keeps a
+//     queued request from ever starting;
+//   * graceful DRAIN — drain() blocks until every admitted request has
+//     emitted its terminal response, which is also the shutdown path.
+//
+// Threading: handle() may be called from one dispatcher thread (the serve
+// loop); responses are delivered through the ResponseSink from worker
+// threads and from handle() itself, concurrently — the sink must be
+// thread-safe (the serve loop serializes writes with a mutex).  Every
+// admitted map request produces exactly ONE terminal response, whatever
+// races cancel/deadline/completion run into each other.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/board.hpp"
+#include "service/protocol.hpp"
+#include "support/cancellation.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gmm::service {
+
+struct ServiceOptions {
+  /// Concurrent mapping workers (0 = hardware concurrency).
+  std::size_t workers = 1;
+  /// Admission bound: queued + in-flight map requests.  Requests arriving
+  /// beyond it get status "rejected".
+  std::size_t max_pending = 64;
+  /// Upper bound accepted for a request's "threads" field.
+  int max_threads_per_solve = 8;
+};
+
+/// Monotonic counters for monitoring and the stress tests.
+struct ServiceStats {
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;  // terminal responses emitted, any status
+  std::int64_t cancelled = 0;
+  std::int64_t timed_out = 0;
+};
+
+class MappingService {
+ public:
+  using ResponseSink = std::function<void(const Response&)>;
+
+  /// `boards` is the named catalog requests select with "board"; the first
+  /// entry is the default.  May be empty, in which case every request must
+  /// carry an inline "board_text".  Names should be unique — on a
+  /// duplicate the FIRST board wins (mapper_serve refuses duplicates at
+  /// startup).
+  MappingService(std::vector<arch::Board> boards, ServiceOptions options,
+                 ResponseSink sink);
+
+  /// Drains outstanding requests before destruction.
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Dispatch one parsed request.  kMap is answered asynchronously from a
+  /// worker; kCancel/kPing (and kInvalid) are answered synchronously on
+  /// the calling thread.  kShutdown is the caller's job (drain + exit) —
+  /// passing it here just acks it without draining.
+  void handle(const Request& request);
+
+  /// Block until every admitted request has emitted its terminal response.
+  /// New requests may still be admitted afterwards; the serve loop stops
+  /// feeding handle() before draining for shutdown.
+  void drain();
+
+  [[nodiscard]] const arch::Board* find_board(const std::string& name) const;
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  void handle_map(const Request& request);
+  void run_map(const std::string& id, const MapRequest& request,
+               const support::CancelTokenPtr& token);
+  /// Emit the terminal response for `id` and release its registry slot.
+  void finish(Response response);
+
+  std::vector<arch::Board> boards_;
+  std::map<std::string, std::size_t> board_index_;
+  ServiceOptions options_;
+  ResponseSink sink_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, support::CancelTokenPtr> active_;  // id -> token
+  std::size_t pending_ = 0;  // admitted, terminal response not yet emitted
+  ServiceStats stats_;
+
+  /// Last so its destructor (which joins workers running run_map) fires
+  /// before the members those workers touch are torn down.
+  std::unique_ptr<support::ThreadPool> pool_;
+};
+
+}  // namespace gmm::service

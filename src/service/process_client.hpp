@@ -1,0 +1,60 @@
+// Small jsonl client driving a mapper_serve subprocess over pipes.
+//
+// Used by the integration tests (and usable from tools) to exercise the
+// service exactly as a real client would: spawn the binary, write request
+// lines to its stdin, read response lines from its stdout with a timeout
+// so a hung server fails the test instead of wedging it.
+//
+// POSIX-only (fork/exec/poll); on other platforms start() returns false
+// and callers should skip.  Not thread-safe: one thread drives a client.
+//
+// Process-global side effect: start() sets SIGPIPE to SIG_IGN (only when
+// the disposition is still SIG_DFL) so a dead child surfaces as a failed
+// send_line instead of killing the process.  A host that wants default
+// SIGPIPE termination should not use ProcessClient.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gmm::service {
+
+class ProcessClient {
+ public:
+  ProcessClient() = default;
+  /// Kills the child if it is still running.
+  ~ProcessClient();
+
+  ProcessClient(const ProcessClient&) = delete;
+  ProcessClient& operator=(const ProcessClient&) = delete;
+
+  /// Spawn `exe` with `args` (argv[0] is derived from exe).  The child's
+  /// stderr passes through to ours so server logs show up in test output.
+  bool start(const std::string& exe, const std::vector<std::string>& args);
+
+  /// Write one line (a '\n' is appended).  False once the pipe is broken.
+  bool send_line(const std::string& line);
+
+  /// Next full line from the child's stdout, or nullopt on timeout / EOF.
+  std::optional<std::string> read_line(double timeout_seconds);
+
+  /// Close the child's stdin (EOF — the server's graceful-drain trigger).
+  void close_stdin();
+
+  /// Wait for the child to exit; returns its exit code, or -1 on timeout
+  /// (the child is then SIGKILLed and reaped).
+  int wait_exit(double timeout_seconds);
+
+  [[nodiscard]] bool started() const { return pid_ > 0; }
+
+ private:
+  void kill_child();
+
+  long pid_ = -1;       // pid_t, kept as long to stay header-portable
+  int to_child_ = -1;   // write end of the child's stdin
+  int from_child_ = -1; // read end of the child's stdout
+  std::string buffer_;  // bytes read but not yet returned as a line
+};
+
+}  // namespace gmm::service

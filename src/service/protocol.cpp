@@ -1,0 +1,211 @@
+#include "service/protocol.hpp"
+
+namespace gmm::service {
+
+namespace {
+
+bool field_as_positive_int(const Json& object, const std::string& key,
+                           int fallback, int max, int& out,
+                           std::string& error) {
+  const Json* field = object.find(key);
+  if (field == nullptr) {
+    out = fallback;
+    return true;
+  }
+  if (!field->is_number() || field->as_number() < 0 ||
+      field->as_number() > max) {
+    error = "'" + key + "' must be a number in [0, " + std::to_string(max) +
+            "]";
+    return false;
+  }
+  out = static_cast<int>(field->as_number());
+  return true;
+}
+
+}  // namespace
+
+Request parse_request_line(const std::string& line) {
+  Request request;
+  const JsonParseResult parsed = parse_json(line);
+  if (!parsed.ok) {
+    request.error = "bad json: " + parsed.error;
+    return request;
+  }
+  const Json& object = parsed.value;
+  if (!object.is_object()) {
+    request.error = "request must be a json object";
+    return request;
+  }
+  // Recover the id first so even a malformed request gets a correlated
+  // error response.
+  request.id = object.get_string("id");
+
+  const std::string method = object.get_string("method");
+  if (method == "map") {
+    request.map.board_name = object.get_string("board");
+    request.map.board_text = object.get_string("board_text");
+    request.map.design_text = object.get_string("design_text");
+    request.map.design_path = object.get_string("design_path");
+    if (request.id.empty()) {
+      request.error = "map requests need an 'id' to correlate the response";
+      return request;
+    }
+    if (request.map.design_text.empty() == request.map.design_path.empty()) {
+      request.error =
+          "map requests need exactly one of 'design_text' or 'design_path'";
+      return request;
+    }
+    const std::string formulation =
+        object.get_string("formulation", "global");
+    if (formulation == "complete") {
+      request.map.complete = true;
+    } else if (formulation != "global") {
+      request.error = "'formulation' must be 'global' or 'complete'";
+      return request;
+    }
+    // 1024 matches mapper_cli's thread-count sanity bound.
+    if (!field_as_positive_int(object, "threads", 1, 1024,
+                               request.map.threads, request.error)) {
+      return request;
+    }
+    const Json* deadline = object.find("deadline_ms");
+    if (deadline != nullptr) {
+      if (!deadline->is_number() || deadline->as_number() < 0) {
+        request.error = "'deadline_ms' must be a non-negative number";
+        return request;
+      }
+      request.map.deadline_ms = deadline->as_number();
+    }
+    request.method = Method::kMap;
+  } else if (method == "cancel") {
+    request.target = object.get_string("target");
+    if (request.target.empty()) {
+      request.error = "cancel requests need a 'target' id";
+      return request;
+    }
+    request.method = Method::kCancel;
+  } else if (method == "ping") {
+    request.method = Method::kPing;
+  } else if (method == "shutdown") {
+    request.method = Method::kShutdown;
+  } else if (method.empty()) {
+    request.error = "missing 'method'";
+  } else {
+    request.error = "unknown method '" + method + "'";
+  }
+  return request;
+}
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kTimeout:
+      return "timeout";
+    case ResponseStatus::kCancelled:
+      return "cancelled";
+    case ResponseStatus::kInfeasible:
+      return "infeasible";
+    case ResponseStatus::kRejected:
+      return "rejected";
+    case ResponseStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Json Response::to_json() const {
+  JsonObject object;
+  if (!id.empty()) object["id"] = id;
+  if (!method.empty()) object["method"] = method;
+  object["status"] = std::string(to_string(status));
+  if (!error.empty()) object["error"] = error;
+  if (!target.empty()) {
+    object["target"] = target;
+    object["found"] = found;
+  }
+  if (has_result) {
+    object["solve_status"] = solve_status;
+    if (!stop_reason.empty()) object["stop_reason"] = stop_reason;
+    object["objective"] = objective;
+    object["nodes"] = nodes;
+    object["seconds"] = seconds;
+    object["retries"] = retries;
+    JsonArray rows;
+    rows.reserve(placements.size());
+    for (const PlacementEntry& p : placements) {
+      JsonObject row;
+      row["segment"] = p.segment;
+      row["type"] = p.type;
+      row["instance"] = p.instance;
+      row["first_port"] = p.first_port;
+      row["ports"] = p.ports;
+      row["config"] = p.config;
+      row["offset_bits"] = p.offset_bits;
+      row["block_bits"] = p.block_bits;
+      row["kind"] = p.kind;
+      rows.emplace_back(std::move(row));
+    }
+    object["placements"] = std::move(rows);
+  }
+  return Json(std::move(object));
+}
+
+std::string Response::to_line() const { return to_json().dump(); }
+
+bool Response::from_json(const Json& value, Response& out) {
+  if (!value.is_object()) return false;
+  out = Response{};
+  out.id = value.get_string("id");
+  out.method = value.get_string("method");
+  const std::string status = value.get_string("status");
+  bool known = false;
+  for (const ResponseStatus s :
+       {ResponseStatus::kOk, ResponseStatus::kTimeout,
+        ResponseStatus::kCancelled, ResponseStatus::kInfeasible,
+        ResponseStatus::kRejected, ResponseStatus::kError}) {
+    if (status == to_string(s)) {
+      out.status = s;
+      known = true;
+      break;
+    }
+  }
+  if (!known) return false;
+  out.error = value.get_string("error");
+  out.target = value.get_string("target");
+  out.found = value.get_bool("found", false);
+  const Json* solve_status = value.find("solve_status");
+  if (solve_status != nullptr && solve_status->is_string()) {
+    out.has_result = true;
+    out.solve_status = solve_status->as_string();
+    out.stop_reason = value.get_string("stop_reason");
+    out.objective = value.get_number("objective", 0.0);
+    out.nodes = static_cast<std::int64_t>(value.get_number("nodes", 0.0));
+    out.seconds = value.get_number("seconds", 0.0);
+    out.retries = static_cast<int>(value.get_number("retries", 0.0));
+    const Json* rows = value.find("placements");
+    if (rows != nullptr && rows->is_array()) {
+      for (const Json& row : rows->as_array()) {
+        if (!row.is_object()) return false;
+        PlacementEntry p;
+        p.segment = row.get_string("segment");
+        p.type = row.get_string("type");
+        p.instance =
+            static_cast<std::int64_t>(row.get_number("instance", 0.0));
+        p.first_port =
+            static_cast<std::int64_t>(row.get_number("first_port", 0.0));
+        p.ports = static_cast<std::int64_t>(row.get_number("ports", 0.0));
+        p.config = row.get_string("config");
+        p.offset_bits =
+            static_cast<std::int64_t>(row.get_number("offset_bits", 0.0));
+        p.block_bits =
+            static_cast<std::int64_t>(row.get_number("block_bits", 0.0));
+        p.kind = row.get_string("kind");
+        out.placements.push_back(std::move(p));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gmm::service

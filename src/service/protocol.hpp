@@ -1,0 +1,134 @@
+// The jsonl mapping-service wire protocol (one JSON object per line).
+//
+// Requests:
+//   {"id":"r1","method":"map","design_text":"...", ...}   map a design
+//     fields: "board" (catalog name; default = first loaded board),
+//             "board_text" (inline board, overrides "board"),
+//             "design_text" | "design_path" (exactly one required),
+//             "formulation" ("global" — the paper's global/detailed
+//             pipeline, default — or "complete", the flat one-ILP
+//             baseline; far slower on big boards),
+//             "threads" (B&B workers per solve, default 1; 0 = the
+//             server's per-solve cap, see --threads),
+//             "deadline_ms" (request deadline incl. queue wait; absent =
+//             none; 0 = already expired, i.e. reject unless trivial)
+//   {"id":"c1","method":"cancel","target":"r1"}           cancel a request
+//   {"id":"p1","method":"ping"}                           liveness probe
+//   {"method":"shutdown"}                                 drain and exit
+//
+// Responses (exactly one terminal response per map request, correlated by
+// "id"; cancel/ping/shutdown are acknowledged synchronously):
+//   {"id":"r1","method":"map","status":"ok","solve_status":"optimal",
+//    "objective":123,"nodes":17,"seconds":0.04,"retries":0,
+//    "placements":[{"segment":"s0","type":"blockram","instance":0,
+//                   "first_port":0,"ports":1,"config":"256x16",
+//                   "offset_bits":0,"block_bits":4096,"kind":"full"}, ...]}
+//   status is one of: ok | timeout | cancelled | infeasible | rejected |
+//   error.  timeout / cancelled responses still carry the best-effort
+//   partial result when the stopped solve had an incumbent.
+//
+// Deadline semantics: the clock starts when the request is accepted, so
+// queue wait counts against it.  Cancel semantics: cancelling an in-flight
+// request stops the branch & bound at its next node boundary; cancelling
+// a queued request prevents it from starting.  Either way the request
+// terminates with status "cancelled".  Cancelling an unknown or already
+// finished id is acknowledged with "found":false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace gmm::service {
+
+enum class Method : std::uint8_t {
+  kMap,
+  kCancel,
+  kPing,
+  kShutdown,
+  kInvalid,  // unparseable line or unknown method; `error` says why
+};
+
+/// A "map" request body.  Defaults chosen so an empty object is invalid
+/// (no design) rather than accidentally expensive.
+struct MapRequest {
+  std::string board_name;   // catalog lookup; "" = first loaded board
+  std::string board_text;   // inline board description; overrides the name
+  std::string design_text;  // inline design description
+  std::string design_path;  // or a file path the server reads
+  bool complete = false;    // solve the flat "complete" formulation
+  int threads = 1;          // B&B workers for this solve (0 = server cap)
+  double deadline_ms = -1.0;  // < 0 = no deadline
+};
+
+struct Request {
+  Method method = Method::kInvalid;
+  std::string id;      // request correlation id ("" allowed except for map)
+  std::string target;  // cancel: the id to cancel
+  MapRequest map;      // valid when method == kMap
+  std::string error;   // parse failure message when method == kInvalid
+};
+
+/// Parse one protocol line.  Never throws; malformed input yields
+/// Method::kInvalid with `error` set (and `id` recovered when possible so
+/// the error response can still be correlated).
+Request parse_request_line(const std::string& line);
+
+enum class ResponseStatus : std::uint8_t {
+  kOk,
+  kTimeout,
+  kCancelled,
+  kInfeasible,
+  /// Admission refused — bounded queue full, or the id is still active
+  /// (duplicate submission).  Never a solve outcome: an in-flight
+  /// request with the same id is unaffected and will still emit its own
+  /// terminal response.  Resubmit later / with a fresh id.
+  kRejected,
+  kError,  // bad request, unknown board, parse failure, solver failure
+};
+
+const char* to_string(ResponseStatus status);
+
+/// One placed fragment, the service-side mirror of mapping::PlacedFragment
+/// with names resolved so clients need no board/design lookup tables.
+struct PlacementEntry {
+  std::string segment;
+  std::string type;
+  std::int64_t instance = 0;
+  std::int64_t first_port = 0;
+  std::int64_t ports = 0;
+  std::string config;
+  std::int64_t offset_bits = 0;
+  std::int64_t block_bits = 0;
+  std::string kind;
+};
+
+struct Response {
+  std::string id;
+  std::string method;  // echoes the request method
+  ResponseStatus status = ResponseStatus::kError;
+  std::string error;   // set for error/rejected
+  std::string target;  // cancel acks: the cancelled id
+  bool found = false;  // cancel acks: target was active
+
+  // Mapping payload (has_result == true when a solve produced a mapping;
+  // timeout/cancelled responses may carry a partial incumbent's mapping).
+  bool has_result = false;
+  std::string solve_status;  // lp::to_string of the pipeline status
+  std::string stop_reason;   // why the solve stopped early; "" when it ran out
+  double objective = 0.0;
+  std::int64_t nodes = 0;
+  double seconds = 0.0;
+  int retries = 0;
+  std::vector<PlacementEntry> placements;
+
+  [[nodiscard]] Json to_json() const;
+  /// Single protocol line (no trailing newline).
+  [[nodiscard]] std::string to_line() const;
+  /// Client-side decode; returns false on a structurally invalid response.
+  static bool from_json(const Json& value, Response& out);
+};
+
+}  // namespace gmm::service

@@ -1,0 +1,52 @@
+#include "service/serve_loop.hpp"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "service/protocol.hpp"
+#include "support/log.hpp"
+#include "support/string_util.hpp"
+
+namespace gmm::service {
+
+int run_serve_loop(std::istream& in, std::ostream& out,
+                   std::vector<arch::Board> boards,
+                   const ServiceOptions& options) {
+  std::mutex write_mutex;
+  const auto sink = [&out, &write_mutex](const Response& response) {
+    const std::scoped_lock lock(write_mutex);
+    out << response.to_line() << '\n';
+    out.flush();  // jsonl consumers read line-by-line; never buffer
+  };
+
+  MappingService service(std::move(boards), options, sink);
+  GMM_LOG(kInfo) << "service: serving (workers=" << options.workers
+                 << ", max_pending=" << options.max_pending << ")";
+
+  std::string line;
+  bool shutdown_requested = false;
+  while (!shutdown_requested && std::getline(in, line)) {
+    if (support::trim(line).empty()) continue;
+    const Request request = parse_request_line(line);
+    if (request.method == Method::kShutdown) {
+      // Stop reading BEFORE draining so nothing new is admitted, then let
+      // the service ack once every in-flight response is on the wire.
+      shutdown_requested = true;
+      service.drain();
+    }
+    service.handle(request);
+  }
+  if (!shutdown_requested) service.drain();  // EOF: same graceful drain
+  const ServiceStats stats = service.stats();
+  GMM_LOG(kInfo) << "service: drained (accepted=" << stats.accepted
+                 << ", completed=" << stats.completed
+                 << ", rejected=" << stats.rejected
+                 << ", cancelled=" << stats.cancelled
+                 << ", timed_out=" << stats.timed_out << ")";
+  return 0;
+}
+
+}  // namespace gmm::service

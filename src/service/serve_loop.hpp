@@ -1,0 +1,27 @@
+// Blocking jsonl dispatch loop: line-delimited requests on an istream,
+// line-delimited responses on an ostream (the mapper_serve binary binds
+// these to stdin/stdout; tests bind stringstreams or pipes).
+//
+// The loop owns the MappingService for its lifetime, writes every
+// response as exactly one '\n'-terminated, immediately-flushed line
+// under a mutex (responses from concurrent workers never interleave),
+// and exits after draining on either a "shutdown" request or EOF — the
+// graceful-shutdown path: stop reading, finish everything admitted, ack,
+// leave.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "arch/board.hpp"
+#include "service/mapping_service.hpp"
+
+namespace gmm::service {
+
+/// Run until EOF or a shutdown request; returns a process exit code
+/// (0 on a clean drain).
+int run_serve_loop(std::istream& in, std::ostream& out,
+                   std::vector<arch::Board> boards,
+                   const ServiceOptions& options);
+
+}  // namespace gmm::service

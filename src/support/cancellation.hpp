@@ -1,0 +1,85 @@
+// Cooperative cancellation and deadlines for long-running solves.
+//
+// A CancelToken is shared (shared_ptr) between a requester — the mapping
+// service, a CLI signal handler, a test — and the solve it governs.  The
+// requester flips `cancel()` or arms a deadline; the solver polls
+// `cancelled()` / `deadline_passed()` at its node boundaries (cheap:
+// two relaxed atomic loads) and stops cooperatively.  Cancellation is
+// level-triggered and irrevocable: once set it stays set, so a token must
+// not be reused across requests.
+//
+// The deadline is stored as steady-clock nanoseconds in an atomic, so
+// arming and polling need no lock and tokens are safe to share between
+// any number of requester and worker threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace gmm::support {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Request cooperative cancellation.  Irrevocable.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arm (or move) the absolute deadline.
+  void set_deadline(Clock::time_point deadline) {
+    // Release/acquire pairing with has_deadline(): a reader that sees the
+    // flag must also see the deadline value, or it could compare against
+    // a stale 0 and spuriously expire the token.
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Arm the deadline `seconds` from now.  Non-positive budgets produce an
+  /// already-expired deadline (useful to reject queued work up front).
+  void set_deadline_after_seconds(double seconds) {
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+
+  [[nodiscard]] bool has_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool deadline_passed() const {
+    if (!has_deadline()) return false;
+    return Clock::now().time_since_epoch().count() >=
+           deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds until the deadline (infinity when none is armed, clamped at
+  /// zero once passed); lets solvers clamp their internal time limits.
+  [[nodiscard]] double seconds_remaining() const {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    const Clock::rep now = Clock::now().time_since_epoch().count();
+    const Clock::rep end = deadline_ns_.load(std::memory_order_relaxed);
+    if (end <= now) return 0.0;
+    return std::chrono::duration<double>(Clock::duration(end - now)).count();
+  }
+
+  /// True when the governed work should stop, for either reason.
+  [[nodiscard]] bool should_stop() const {
+    return cancelled() || deadline_passed();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<Clock::rep> deadline_ns_{0};
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace gmm::support

@@ -1,0 +1,102 @@
+// Property-based round-trip testing of the board text format: generate
+// random valid boards with support/rng, write -> parse -> compare
+// field-by-field.  The generator covers the corners the example files
+// never exercise — empty board names (which used to come back renamed
+// "unnamed"), single- and many-config types, zero-pin on-chip types,
+// boards with no types at all — across hundreds of seeds.
+#include "arch/arch_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/board.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::arch {
+namespace {
+
+/// Random valid BankType: power-of-two dimensions and constant capacity
+/// across configurations, as BankType::validate requires.
+BankType random_bank_type(support::Rng& rng, int ordinal) {
+  BankType t;
+  t.name = "type" + std::to_string(ordinal) + "_" +
+           std::to_string(rng.uniform_int(0, 999));
+  t.instances = rng.uniform_int(1, 64);
+  t.ports = rng.uniform_int(1, 4);
+  t.read_latency = rng.uniform_int(0, 5);
+  t.write_latency = rng.uniform_int(0, 5);
+  t.pins_traversed = rng.bernoulli(0.5) ? 0 : rng.uniform_int(1, 16);
+
+  // Base configuration, then optional halved-depth/doubled-width
+  // variants: every derived config keeps depth * width constant and both
+  // dimensions powers of two, and widths stay distinct.
+  std::int64_t depth = std::int64_t{1} << rng.uniform_int(4, 16);
+  std::int64_t width = std::int64_t{1} << rng.uniform_int(0, 6);
+  const std::int64_t extra = rng.uniform_int(0, 4);
+  t.configs.push_back({depth, width});
+  for (std::int64_t k = 0; k < extra && depth > 1; ++k) {
+    depth /= 2;
+    width *= 2;
+    t.configs.push_back({depth, width});
+  }
+  return t;
+}
+
+Board random_board(support::Rng& rng) {
+  // Empty names must round-trip too (they used to come back "unnamed").
+  Board board(rng.bernoulli(0.1)
+                  ? ""
+                  : "board_" + std::to_string(rng.uniform_int(0, 9999)));
+  const std::int64_t types = rng.uniform_int(0, 5);
+  for (std::int64_t i = 0; i < types; ++i) {
+    board.add_bank_type(random_bank_type(rng, static_cast<int>(i)));
+  }
+  return board;
+}
+
+void expect_boards_equal(const Board& a, const Board& b,
+                         std::uint64_t seed) {
+  EXPECT_EQ(a.name(), b.name()) << "seed " << seed;
+  ASSERT_EQ(a.num_types(), b.num_types()) << "seed " << seed;
+  for (std::size_t t = 0; t < a.num_types(); ++t) {
+    const BankType& x = a.type(t);
+    const BankType& y = b.type(t);
+    EXPECT_EQ(x.name, y.name) << "seed " << seed;
+    EXPECT_EQ(x.instances, y.instances) << "seed " << seed;
+    EXPECT_EQ(x.ports, y.ports) << "seed " << seed;
+    EXPECT_EQ(x.read_latency, y.read_latency) << "seed " << seed;
+    EXPECT_EQ(x.write_latency, y.write_latency) << "seed " << seed;
+    EXPECT_EQ(x.pins_traversed, y.pins_traversed) << "seed " << seed;
+    ASSERT_EQ(x.configs.size(), y.configs.size()) << "seed " << seed;
+    for (std::size_t c = 0; c < x.configs.size(); ++c) {
+      EXPECT_EQ(x.configs[c], y.configs[c])
+          << "seed " << seed << " config " << c;
+    }
+  }
+}
+
+TEST(ArchIoProperty, WriteParseRoundTripsRandomBoards) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    support::Rng rng(seed);
+    const Board board = random_board(rng);
+    const std::string text = board_to_string(board);
+    const BoardParseResult parsed = parse_board_string(text);
+    ASSERT_TRUE(parsed.ok)
+        << "seed " << seed << ": " << parsed.error << "\n" << text;
+    expect_boards_equal(board, parsed.board, seed);
+    // Idempotence: a second trip produces byte-identical text.
+    EXPECT_EQ(board_to_string(parsed.board), text) << "seed " << seed;
+  }
+}
+
+TEST(ArchIoProperty, EmptyNameRoundTripsEmpty) {
+  const Board board("");
+  const BoardParseResult parsed = parse_board_string(board_to_string(board));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.board.name().empty());
+  EXPECT_EQ(parsed.board.num_types(), 0u);
+}
+
+}  // namespace
+}  // namespace gmm::arch

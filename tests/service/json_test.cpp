@@ -1,0 +1,106 @@
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gmm::service {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  const JsonParseResult r = parse_json(text);
+  EXPECT_TRUE(r.ok) << text << " -> " << r.error;
+  return r.value;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_EQ(parse_ok("true").as_bool(), true);
+  EXPECT_EQ(parse_ok("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_ok("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-17.25").as_number(), -17.25);
+  EXPECT_DOUBLE_EQ(parse_ok("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const Json v = parse_ok(
+      R"({"id":"r1","opts":{"threads":4,"deep":[1,[2,[3]]]},"tags":["a","b"]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_string("id"), "r1");
+  const Json* opts = v.find("opts");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_DOUBLE_EQ(opts->get_number("threads", 0), 4.0);
+  const Json* tags = v.find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_EQ(tags->as_array().size(), 2u);
+  EXPECT_EQ(tags->as_array()[1].as_string(), "b");
+}
+
+TEST(Json, StringEscapes) {
+  const Json v = parse_ok(R"("line\nbreak \"quoted\" tab\t back\\slash")");
+  EXPECT_EQ(v.as_string(), "line\nbreak \"quoted\" tab\t back\\slash");
+  EXPECT_EQ(parse_ok(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "01x", "nan",
+        "inf", "{\"a\" 1}", "[1 2]", "\"\\u12\"", "\"\\ud800\"",
+        "{\"a\":1} extra", "\"raw\tcontrol\""}) {
+    EXPECT_FALSE(parse_json(bad).ok) << bad;
+  }
+}
+
+TEST(Json, RejectsAbsurdNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(parse_json(deep).ok);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const char* docs[] = {
+      R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5}})",
+      R"([])",
+      R"({})",
+      R"("esc\napes\"ok\"")",
+      R"([1,2.5,-3,1e300])",
+  };
+  for (const char* doc : docs) {
+    const Json first = parse_ok(doc);
+    const Json second = parse_ok(first.dump());
+    EXPECT_TRUE(first == second) << doc << " vs " << first.dump();
+  }
+}
+
+TEST(Json, DumpIsSingleLineAndEscaped) {
+  JsonObject o;
+  o["msg"] = std::string("a\nb\x01");
+  const std::string line = Json(std::move(o)).dump();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line, R"({"msg":"a\nb\u0001"})");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction) {
+  JsonObject o;
+  o["n"] = 1234567890123.0;
+  o["f"] = 0.5;
+  EXPECT_EQ(Json(std::move(o)).dump(), R"({"f":0.5,"n":1234567890123})");
+}
+
+TEST(Json, GetHelpersFallBack) {
+  const Json v = parse_ok(R"({"s":"x","n":3,"b":true})");
+  EXPECT_EQ(v.get_string("s"), "x");
+  EXPECT_EQ(v.get_string("missing", "d"), "d");
+  EXPECT_EQ(v.get_string("n", "d"), "d");  // wrong type -> fallback
+  EXPECT_DOUBLE_EQ(v.get_number("n", -1), 3.0);
+  EXPECT_DOUBLE_EQ(v.get_number("s", -1), -1.0);
+  EXPECT_TRUE(v.get_bool("b", false));
+  EXPECT_TRUE(v.get_bool("nope", true));
+  EXPECT_EQ(Json(2.0).find("x"), nullptr);  // non-objects have no fields
+}
+
+}  // namespace
+}  // namespace gmm::service

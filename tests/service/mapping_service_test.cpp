@@ -1,0 +1,304 @@
+// In-process MappingService behavior: admission control, deadlines,
+// cancellation (queued and in-flight), drain, and error paths.  The
+// subprocess/jsonl path is covered by tests/integration; randomized
+// schedules by tests/stress.
+#include "service/mapping_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/arch_io.hpp"
+#include "design/design_io.hpp"
+#include "workload/workload_gen.hpp"
+
+namespace gmm::service {
+namespace {
+
+/// Thread-safe response collector used as the service sink.
+class Collector {
+ public:
+  MappingService::ResponseSink sink() {
+    return [this](const Response& r) {
+      const std::scoped_lock lock(mutex_);
+      responses_.push_back(r);
+    };
+  }
+
+  [[nodiscard]] std::vector<Response> snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return responses_;
+  }
+
+  /// The single terminal response for a map id (fails the test if the
+  /// exactly-once contract broke).
+  [[nodiscard]] Response only(const std::string& id) const {
+    const std::scoped_lock lock(mutex_);
+    const Response* found = nullptr;
+    int count = 0;
+    for (const Response& r : responses_) {
+      if (r.id == id && r.method == "map") {
+        found = &r;
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, 1) << "id " << id << " got " << count << " responses";
+    return found != nullptr ? *found : Response{};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Response> responses_;
+};
+
+arch::Board test_board() {
+  // The paper's largest Table-3 board shape: big enough that the slow
+  // designs below solve for a while, harmless for the quick ones.
+  const auto board = workload::board_from_totals(
+      {.banks = 180, .ports = 265, .configs = 375});
+  EXPECT_TRUE(board.has_value());
+  return *board;
+}
+
+/// A design whose COMPLETE-formulation ILP on test_board() runs for
+/// seconds (the global pipeline solves even 250-segment designs in tens
+/// of milliseconds — too fast to be caught in flight by a cancel or a
+/// deadline, which is exactly the paper's Table-3 point about the flat
+/// formulation's size).
+std::string slow_design_text(std::uint64_t seed = 5) {
+  const arch::Board board = test_board();
+  workload::DesignGenOptions gen;
+  gen.num_segments = 64;
+  gen.seed = seed;
+  return design::design_to_string(workload::generate_design(board, gen));
+}
+
+std::string quick_design_text() {
+  return "design quick\n"
+         "segment coeffs depth 64 width 8\n"
+         "segment window depth 128 width 8\n"
+         "conflicts all\n";
+}
+
+Request map_request(const std::string& id, std::string design_text,
+                    double deadline_ms = -1.0) {
+  Request r;
+  r.method = Method::kMap;
+  r.id = id;
+  r.map.design_text = std::move(design_text);
+  r.map.deadline_ms = deadline_ms;
+  return r;
+}
+
+/// A request that will keep its worker busy for seconds unless stopped.
+Request slow_request(const std::string& id, double deadline_ms = -1.0) {
+  Request r = map_request(id, slow_design_text(), deadline_ms);
+  r.map.complete = true;
+  return r;
+}
+
+Request cancel_request(const std::string& target) {
+  Request r;
+  r.method = Method::kCancel;
+  r.id = "cancel-" + target;
+  r.target = target;
+  return r;
+}
+
+TEST(MappingService, MapsAndPlacesEverySegment) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 2}, out.sink());
+  service.handle(map_request("a", quick_design_text()));
+  service.handle(map_request("b", quick_design_text()));
+  service.drain();
+
+  for (const char* id : {"a", "b"}) {
+    const Response r = out.only(id);
+    EXPECT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    EXPECT_EQ(r.solve_status, "optimal");
+    std::set<std::string> placed;
+    for (const PlacementEntry& p : r.placements) placed.insert(p.segment);
+    EXPECT_EQ(placed, (std::set<std::string>{"coeffs", "window"}));
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(MappingService, InlineBoardOverridesCatalog) {
+  Collector out;
+  MappingService service({}, {.workers = 1}, out.sink());  // empty catalog
+  Request r = map_request("inline", quick_design_text());
+  r.map.board_text = arch::board_to_string(test_board());
+  service.handle(r);
+  service.drain();
+  EXPECT_EQ(out.only("inline").status, ResponseStatus::kOk);
+}
+
+TEST(MappingService, ErrorPaths) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  Request unknown_board = map_request("ub", quick_design_text());
+  unknown_board.map.board_name = "nonexistent";
+  service.handle(unknown_board);
+
+  Request bad_design = map_request("bd", "segment broken\n");
+  service.handle(bad_design);
+
+  Request empty_design = map_request("ed", "design hollow\n");
+  service.handle(empty_design);
+
+  Request bad_path = map_request("bp", "");
+  bad_path.map.design_path = "/nonexistent/path/design.txt";
+  service.handle(bad_path);
+
+  Request bad_board_text = map_request("bb", quick_design_text());
+  bad_board_text.map.board_text = "banktype oops\n";
+  service.handle(bad_board_text);
+
+  service.drain();
+  for (const char* id : {"ub", "bd", "ed", "bp", "bb"}) {
+    const Response r = out.only(id);
+    EXPECT_EQ(r.status, ResponseStatus::kError) << id;
+    EXPECT_FALSE(r.error.empty()) << id;
+  }
+}
+
+TEST(MappingService, DuplicateActiveIdIsRejected) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  service.handle(slow_request("dup"));
+  service.handle(map_request("dup", quick_design_text()));
+  // Unblock the slow original so drain returns promptly.
+  service.handle(cancel_request("dup"));
+  service.drain();
+
+  // The duplicate submission bounces with "rejected" — distinguishable
+  // from the original's terminal response, which still arrives.
+  int rejected = 0, terminal = 0;
+  for (const Response& r : out.snapshot()) {
+    if (r.id != "dup" || r.method != "map") continue;
+    ++terminal;
+    if (r.status == ResponseStatus::kRejected) ++rejected;
+  }
+  EXPECT_EQ(terminal, 2);
+  EXPECT_EQ(rejected, 1);
+  EXPECT_EQ(service.stats().rejected, 1);
+}
+
+TEST(MappingService, BoundedQueueRejectsOverflow) {
+  Collector out;
+  // One worker, admission bound 1: the slow request occupies the only
+  // slot, so everything submitted behind it bounces with "rejected".
+  MappingService service({test_board()}, {.workers = 1, .max_pending = 1},
+                         out.sink());
+  service.handle(slow_request("slow"));
+  service.handle(map_request("r1", quick_design_text()));
+  service.handle(map_request("r2", quick_design_text()));
+  const Response r1 = out.only("r1");
+  const Response r2 = out.only("r2");
+  EXPECT_EQ(r1.status, ResponseStatus::kRejected);
+  EXPECT_EQ(r2.status, ResponseStatus::kRejected);
+  service.handle(cancel_request("slow"));  // shorten the tail
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 1);
+  EXPECT_EQ(stats.rejected, 2);
+  // `completed` counts terminal responses of ADMITTED requests; the two
+  // rejections were answered synchronously at admission.
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(MappingService, CancelQueuedRequestNeverStarts) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  service.handle(slow_request("running"));
+  service.handle(map_request("queued", quick_design_text()));
+  service.handle(cancel_request("queued"));
+  service.handle(cancel_request("running"));
+  service.drain();
+
+  const Response queued = out.only("queued");
+  EXPECT_EQ(queued.status, ResponseStatus::kCancelled);
+  EXPECT_FALSE(queued.has_result);  // never reached the solver
+  EXPECT_EQ(out.only("running").status, ResponseStatus::kCancelled);
+}
+
+TEST(MappingService, CancelInFlightStopsTheSolve) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  service.handle(slow_request("victim"));
+  service.handle(cancel_request("victim"));
+  service.drain();
+
+  const Response r = out.only("victim");
+  EXPECT_EQ(r.status, ResponseStatus::kCancelled);
+  // The ack for the cancel itself reported the target as active.
+  bool acked = false;
+  for (const Response& resp : out.snapshot()) {
+    if (resp.method == "cancel" && resp.target == "victim") {
+      acked = true;
+      EXPECT_TRUE(resp.found);
+    }
+  }
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(service.stats().cancelled, 1);
+}
+
+TEST(MappingService, CancelUnknownTargetAcksNotFound) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  service.handle(cancel_request("ghost"));
+  const std::vector<Response> responses = out.snapshot();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kOk);
+  EXPECT_FALSE(responses[0].found);
+}
+
+TEST(MappingService, ExpiredDeadlineTimesOutWithoutSolving) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  service.handle(map_request("late", quick_design_text(), 0.0));
+  service.drain();
+  const Response r = out.only("late");
+  EXPECT_EQ(r.status, ResponseStatus::kTimeout);
+  EXPECT_FALSE(r.has_result);
+  EXPECT_EQ(service.stats().timed_out, 1);
+}
+
+TEST(MappingService, DeadlineInterruptsInFlightSolve) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  // Long enough to reach the solver, far shorter than the solve.
+  service.handle(slow_request("tight", 100.0));
+  service.drain();
+  EXPECT_EQ(out.only("tight").status, ResponseStatus::kTimeout);
+}
+
+TEST(MappingService, PingAndInvalidRespondSynchronously) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  Request ping;
+  ping.method = Method::kPing;
+  ping.id = "p1";
+  service.handle(ping);
+  Request invalid;
+  invalid.method = Method::kInvalid;
+  invalid.id = "junk";
+  invalid.error = "unparseable";
+  service.handle(invalid);
+  const std::vector<Response> responses = out.snapshot();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].method, "ping");
+  EXPECT_EQ(responses[0].status, ResponseStatus::kOk);
+  EXPECT_EQ(responses[1].status, ResponseStatus::kError);
+  EXPECT_EQ(responses[1].error, "unparseable");
+}
+
+}  // namespace
+}  // namespace gmm::service

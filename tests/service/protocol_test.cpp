@@ -1,0 +1,139 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gmm::service {
+namespace {
+
+TEST(Protocol, ParsesMapRequest) {
+  const Request r = parse_request_line(
+      R"({"id":"r1","method":"map","design_text":"design d\n","board":"xcv",)"
+      R"("threads":4,"deadline_ms":2500})");
+  ASSERT_EQ(r.method, Method::kMap);
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.map.board_name, "xcv");
+  EXPECT_EQ(r.map.design_text, "design d\n");
+  EXPECT_EQ(r.map.threads, 4);
+  EXPECT_DOUBLE_EQ(r.map.deadline_ms, 2500.0);
+}
+
+TEST(Protocol, MapDefaults) {
+  const Request r = parse_request_line(
+      R"({"id":"r","method":"map","design_path":"/tmp/x.txt"})");
+  ASSERT_EQ(r.method, Method::kMap);
+  EXPECT_EQ(r.map.threads, 1);
+  EXPECT_LT(r.map.deadline_ms, 0.0);  // no deadline
+  EXPECT_TRUE(r.map.board_name.empty());
+}
+
+TEST(Protocol, RejectsBadMapRequests) {
+  // Missing id, missing design, both design forms, bad threads/deadline.
+  for (const char* line : {
+           R"({"method":"map","design_text":"d"})",
+           R"({"id":"r","method":"map"})",
+           R"({"id":"r","method":"map","design_text":"d","design_path":"p"})",
+           R"({"id":"r","method":"map","design_text":"d","threads":-1})",
+           R"({"id":"r","method":"map","design_text":"d","threads":"four"})",
+           R"({"id":"r","method":"map","design_text":"d","deadline_ms":-5})",
+       }) {
+    const Request r = parse_request_line(line);
+    EXPECT_EQ(r.method, Method::kInvalid) << line;
+    EXPECT_FALSE(r.error.empty()) << line;
+  }
+}
+
+TEST(Protocol, ErrorKeepsIdForCorrelation) {
+  const Request r = parse_request_line(R"({"id":"r9","method":"frobnicate"})");
+  EXPECT_EQ(r.method, Method::kInvalid);
+  EXPECT_EQ(r.id, "r9");
+}
+
+TEST(Protocol, ParsesControlMethods) {
+  const Request cancel =
+      parse_request_line(R"({"id":"c1","method":"cancel","target":"r1"})");
+  ASSERT_EQ(cancel.method, Method::kCancel);
+  EXPECT_EQ(cancel.target, "r1");
+  EXPECT_EQ(parse_request_line(R"({"method":"cancel"})").method,
+            Method::kInvalid);  // no target
+  EXPECT_EQ(parse_request_line(R"({"method":"ping"})").method, Method::kPing);
+  EXPECT_EQ(parse_request_line(R"({"method":"shutdown"})").method,
+            Method::kShutdown);
+  EXPECT_EQ(parse_request_line("not json").method, Method::kInvalid);
+  EXPECT_EQ(parse_request_line("[1,2]").method, Method::kInvalid);
+  EXPECT_EQ(parse_request_line("{}").method, Method::kInvalid);
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response r;
+  r.id = "r1";
+  r.method = "map";
+  r.status = ResponseStatus::kTimeout;
+  r.has_result = true;
+  r.solve_status = "feasible";
+  r.stop_reason = "time-limit";
+  r.objective = 1234.0;
+  r.nodes = 77;
+  r.seconds = 0.125;
+  r.retries = 1;
+  PlacementEntry p;
+  p.segment = "coeffs";
+  p.type = "blockram";
+  p.instance = 3;
+  p.first_port = 1;
+  p.ports = 1;
+  p.config = "256x16";
+  p.offset_bits = 1024;
+  p.block_bits = 2048;
+  p.kind = "full";
+  r.placements.push_back(p);
+
+  const JsonParseResult parsed = parse_json(r.to_line());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Response back;
+  ASSERT_TRUE(Response::from_json(parsed.value, back));
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.status, ResponseStatus::kTimeout);
+  EXPECT_EQ(back.solve_status, "feasible");
+  EXPECT_EQ(back.stop_reason, "time-limit");
+  EXPECT_DOUBLE_EQ(back.objective, 1234.0);
+  EXPECT_EQ(back.nodes, 77);
+  EXPECT_EQ(back.retries, 1);
+  ASSERT_EQ(back.placements.size(), 1u);
+  EXPECT_EQ(back.placements[0].segment, "coeffs");
+  EXPECT_EQ(back.placements[0].config, "256x16");
+  EXPECT_EQ(back.placements[0].block_bits, 2048);
+  EXPECT_EQ(back.placements[0].kind, "full");
+}
+
+TEST(Protocol, CancelAckRoundTrips) {
+  Response ack;
+  ack.id = "c1";
+  ack.method = "cancel";
+  ack.status = ResponseStatus::kOk;
+  ack.target = "r1";
+  ack.found = true;
+  const JsonParseResult parsed = parse_json(ack.to_line());
+  ASSERT_TRUE(parsed.ok);
+  Response back;
+  ASSERT_TRUE(Response::from_json(parsed.value, back));
+  EXPECT_EQ(back.target, "r1");
+  EXPECT_TRUE(back.found);
+  EXPECT_FALSE(back.has_result);
+}
+
+TEST(Protocol, FromJsonRejectsGarbage) {
+  Response out;
+  EXPECT_FALSE(Response::from_json(Json(1.0), out));
+  const JsonParseResult no_status = parse_json(R"({"id":"x"})");
+  ASSERT_TRUE(no_status.ok);
+  EXPECT_FALSE(Response::from_json(no_status.value, out));
+  const JsonParseResult bad_status =
+      parse_json(R"({"id":"x","status":"sideways"})");
+  ASSERT_TRUE(bad_status.ok);
+  EXPECT_FALSE(Response::from_json(bad_status.value, out));
+}
+
+}  // namespace
+}  // namespace gmm::service
