@@ -110,7 +110,37 @@ int main() {
             .nodes = r.mip.nodes,
             .lp_iterations = r.mip.lp_iterations,
             .objective = r.mip.has_incumbent() ? r.mip.objective : -1.0,
-            .status = lp::to_string(r.status)};
+            .status = lp::to_string(r.status),
+            .basis = r.mip.basis};
+      });
+
+  // ---- basis warm-start A/B --------------------------------------------
+  // The same Table-3 point solved with the per-node basis cache on vs off
+  // (max_stored_bases 4096 vs 0), single-threaded so both arms search the
+  // identical tree: warm-started heap pops should pay fewer dual pivots
+  // per node.  bench_09 runs the same A/B; this copy keeps the claim
+  // measurable without google-benchmark installed.
+  std::printf("\n== basis warm-start cache A/B (Table-3 point %d, complete "
+              "formulation, 1 thread) ==\n",
+              points[sweep_index].index);
+  bench::run_basis_warm_cold_ab(
+      json, "basis_warm_cold_ab",
+      {bench::jint("point", points[sweep_index].index)},
+      [&](std::size_t max_stored_bases) {
+        mapping::CompleteOptions options;
+        options.mip.num_threads = 1;
+        options.mip.max_stored_bases = max_stored_bases;
+        options.mip.time_limit_seconds = sweep_limit;
+        support::WallTimer timer;
+        const mapping::CompleteResult r = mapping::map_complete(
+            instance.design, instance.board, cost_table, options);
+        return bench::SweepOutcome{
+            .seconds = timer.seconds(),
+            .nodes = r.mip.nodes,
+            .lp_iterations = r.mip.lp_iterations,
+            .objective = r.mip.has_incumbent() ? r.mip.objective : -1.0,
+            .status = lp::to_string(r.status),
+            .basis = r.mip.basis};
       });
   return 0;
 }

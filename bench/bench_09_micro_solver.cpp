@@ -6,12 +6,14 @@
 // the (identical) objective.  JSON mirror: BENCH_micro_solver.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "arch/device_catalog.hpp"
 #include "bench_common.hpp"
 #include "ilp/mip_solver.hpp"
 #include "lp/solver.hpp"
+#include "mapping/complete_mapper.hpp"
 #include "mapping/detailed_mapper.hpp"
 #include "mapping/preprocess.hpp"
 #include "support/rng.hpp"
@@ -176,8 +178,42 @@ void run_sweep() {
                                .nodes = r.nodes,
                                .lp_iterations = r.lp_iterations,
                                .objective = r.objective,
-                               .status = lp::to_string(r.status)};
+                               .status = lp::to_string(r.status),
+                               .basis = r.basis};
   });
+
+  // ---- basis warm-start A/B on a Table-3 point --------------------------
+  // The complete formulation of a mid-size Table-3 point with the
+  // per-node basis cache on vs off, 1 thread so both arms search the
+  // identical tree — isolating the dual pivots a heap pop pays when it
+  // warm-starts from its own parent's basis vs re-deriving cold.
+  const auto& points = workload::table3_points();
+  const std::size_t ab_point = 3;  // paper point 4: deep enough tree
+  const workload::Table3Instance instance =
+      workload::build_instance(points[ab_point], bench::env_seed());
+  const mapping::CostTable cost_table(instance.design, instance.board);
+  std::printf("\n== basis warm-start cache A/B (Table-3 point %d, complete "
+              "formulation, 1 thread) ==\n",
+              points[ab_point].index);
+  bench::run_basis_warm_cold_ab(
+      json, "basis_warm_cold_ab",
+      {bench::jint("point", points[ab_point].index)},
+      [&](std::size_t max_stored_bases) {
+        mapping::CompleteOptions options;
+        options.mip.num_threads = 1;
+        options.mip.max_stored_bases = max_stored_bases;
+        options.mip.time_limit_seconds = std::min(30.0, bench::env_time_limit());
+        support::WallTimer timer;
+        const mapping::CompleteResult r = mapping::map_complete(
+            instance.design, instance.board, cost_table, options);
+        return bench::SweepOutcome{
+            .seconds = timer.seconds(),
+            .nodes = r.mip.nodes,
+            .lp_iterations = r.mip.lp_iterations,
+            .objective = r.mip.has_incumbent() ? r.mip.objective : -1.0,
+            .status = lp::to_string(r.status),
+            .basis = r.mip.basis};
+      });
 }
 
 }  // namespace

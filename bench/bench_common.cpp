@@ -162,14 +162,17 @@ void run_thread_sweep(BenchJson& json, const std::string& record,
     }
   }
 
-  std::printf("%8s %10s %10s %12s %14s %12s\n", "threads", "seconds",
-              "speedup", "B&B nodes", "LP iterations", "objective");
+  std::printf("%8s %10s %10s %12s %14s %12s %9s %11s\n", "threads",
+              "seconds", "speedup", "B&B nodes", "LP iterations",
+              "objective", "hit rate", "pivots/pop");
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const SweepOutcome& o = outcomes[i];
     const double speedup = o.seconds > 0 ? baseline / o.seconds : 0.0;
-    std::printf("%8d %10.3f %9.2fx %12lld %14lld %12.0f\n", counts[i],
-                o.seconds, speedup, static_cast<long long>(o.nodes),
-                static_cast<long long>(o.lp_iterations), o.objective);
+    std::printf("%8d %10.3f %9.2fx %12lld %14lld %12.0f %8.0f%% %11.1f\n",
+                counts[i], o.seconds, speedup,
+                static_cast<long long>(o.nodes),
+                static_cast<long long>(o.lp_iterations), o.objective,
+                100.0 * o.basis.hit_rate(), o.basis.pivots_per_pop());
     std::vector<JsonField> fields = extra_fields;
     fields.push_back(jint("threads", counts[i]));
     fields.push_back(jnum("seconds", o.seconds));
@@ -178,9 +181,52 @@ void run_thread_sweep(BenchJson& json, const std::string& record,
     fields.push_back(jint("lp_iterations", o.lp_iterations));
     fields.push_back(jnum("objective", o.objective));
     fields.push_back(jstr("status", o.status));
+    for (JsonField& field : basis_fields(o.basis)) {
+      fields.push_back(std::move(field));
+    }
     json.write(record, fields);
   }
   std::printf("(JSON mirror: %s)\n", json.path().c_str());
+}
+
+std::vector<JsonField> basis_fields(const lp::BasisCacheStats& basis) {
+  return {jint("bases_stored", basis.stored),
+          jint("bases_loaded", basis.loaded),
+          jint("bases_evicted", basis.evicted),
+          jint("cold_pops", basis.cold_pops),
+          jint("warm_pop_pivots", basis.warm_pop_pivots),
+          jint("cold_pop_pivots", basis.cold_pop_pivots),
+          jnum("basis_hit_rate", basis.hit_rate()),
+          jnum("pivots_per_pop", basis.pivots_per_pop())};
+}
+
+void run_basis_warm_cold_ab(
+    BenchJson& json, const std::string& record,
+    const std::vector<JsonField>& extra_fields,
+    const std::function<SweepOutcome(std::size_t max_stored_bases)>& solve) {
+  std::printf("%8s %10s %12s %10s %10s %11s %12s\n", "cache", "seconds",
+              "B&B nodes", "warm pops", "cold pops", "pivots/pop",
+              "objective");
+  for (const bool warm : {true, false}) {
+    const SweepOutcome o = solve(warm ? std::size_t{4096} : std::size_t{0});
+    std::printf("%8s %10.3f %12lld %10lld %10lld %11.1f %12.0f\n",
+                warm ? "on" : "off", o.seconds,
+                static_cast<long long>(o.nodes),
+                static_cast<long long>(o.basis.loaded),
+                static_cast<long long>(o.basis.cold_pops),
+                o.basis.pivots_per_pop(), o.objective);
+    std::vector<JsonField> fields = extra_fields;
+    fields.push_back(jstr("basis_cache", warm ? "on" : "off"));
+    fields.push_back(jnum("seconds", o.seconds));
+    fields.push_back(jint("nodes", o.nodes));
+    fields.push_back(jint("lp_iterations", o.lp_iterations));
+    fields.push_back(jnum("objective", o.objective));
+    fields.push_back(jstr("status", o.status));
+    for (JsonField& field : basis_fields(o.basis)) {
+      fields.push_back(std::move(field));
+    }
+    json.write(record, fields);
+  }
 }
 
 namespace {

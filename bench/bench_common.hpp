@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/basis.hpp"
 #include "workload/table3_suite.hpp"
 
 namespace gmm::bench {
@@ -55,6 +56,10 @@ struct SweepOutcome {
   std::int64_t lp_iterations = 0;
   double objective = 0.0;
   std::string status;
+  /// Basis warm-start cache counters of the solve (MipResult::basis);
+  /// the sweep reports the hit rate and the warm/cold pivots-per-pop
+  /// split so BENCH_*.json captures the pivots-per-node trajectory.
+  lp::BasisCacheStats basis;
 };
 
 // ---- machine-readable benchmark output -----------------------------------
@@ -104,5 +109,19 @@ class BenchJson {
 void run_thread_sweep(BenchJson& json, const std::string& record,
                       const std::vector<JsonField>& extra_fields,
                       const std::function<SweepOutcome(int threads)>& solve);
+
+/// Render one outcome's basis-cache counters as JSON fields (hit rate,
+/// stored/loaded/evicted, warm/cold pivots per pop).
+std::vector<JsonField> basis_fields(const lp::BasisCacheStats& basis);
+
+/// Warm-vs-cold A/B: run `solve(max_stored_bases)` once with the cache on
+/// (4096) and once off (0), print the dual-pivots-per-pop comparison and
+/// mirror one `record` JSON line per arm (field "basis_cache": "on"/"off").
+/// The claim under measurement: heap pops that warm-start from their own
+/// parent's basis pay fewer dual pivots than cold re-derivations.
+void run_basis_warm_cold_ab(
+    BenchJson& json, const std::string& record,
+    const std::vector<JsonField>& extra_fields,
+    const std::function<SweepOutcome(std::size_t max_stored_bases)>& solve);
 
 }  // namespace gmm::bench

@@ -6,8 +6,10 @@
 # Pipes a small conversation into mapper_serve: a liveness ping, two
 # mapping requests against the bundled XCV300 board (one by server-side
 # file path, one inline), a deliberately impossible 0 ms deadline that
-# comes back as status "timeout", and a graceful shutdown.  Responses
-# stream to stdout one JSON object per line.
+# comes back as status "timeout", a stats request (request accounting +
+# aggregate solver counters; answered synchronously, so its tally races
+# the still-in-flight solves and may print before them), and a graceful
+# shutdown.  Responses stream to stdout one JSON object per line.
 set -eu
 
 SERVE="${1:-./build/mapper_serve}"
@@ -23,5 +25,6 @@ fi
 {"id":"filter","method":"map","design_path":"$DATA/design_filter.txt"}
 {"id":"inline","method":"map","design_text":"design tiny\nsegment coeffs depth 64 width 8\nsegment window depth 128 width 8\nconflicts all\n"}
 {"id":"hopeless","method":"map","design_path":"$DATA/design_fft.txt","deadline_ms":0}
+{"id":"tally","method":"stats"}
 {"method":"shutdown"}
 EOF

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -42,10 +43,23 @@ struct NodeData {
   int depth = 0;
 };
 
+/// Mutable (under heap_mutex_) holder for one cached basis snapshot.  The
+/// indirection lets the eviction FIFO clear a snapshot that is still
+/// referenced by a queued OpenNode: the node keeps its slot, the basis
+/// inside is gone, and the pop falls back to a cold solve.
+struct BasisSlot {
+  std::shared_ptr<const lp::Basis> basis;
+};
+
 struct OpenNode {
   double bound = -kInf;  // parent LP objective: a valid lower bound
   std::uint64_t seq = 0;  // FIFO tie-break keeps the search deterministic
   std::shared_ptr<const NodeData> data;
+  /// The PARENT's optimal basis, snapshot when this node was pushed; the
+  /// popping worker warm-starts from it so re-deriving this node's LP
+  /// costs pivots proportional to one branching change.  Null (or
+  /// emptied by eviction) = cold solve.
+  std::shared_ptr<BasisSlot> slot;
 };
 
 struct BestFirstOrder {
@@ -113,20 +127,33 @@ class Search {
       return last_popped_bound_;
     }
 
+    [[nodiscard]] const lp::BasisCacheStats& basis_stats() const {
+      return basis_stats_;
+    }
+
    private:
-    void apply_path(const NodeData* node);
+    /// Re-derive `node`'s bounds from its parent chain, then either
+    /// restore `warm` (the node's own parent basis, already dual feasible
+    /// for the changed bounds) or just refresh on the engine's current
+    /// basis (cold: an unrelated subtree's basis or the initial one).
+    void apply_path(const NodeData* node, const lp::Basis* warm);
     [[nodiscard]] Index pick_branch_var(const std::vector<double>& x) const;
     void run_rounding_heuristic(const std::vector<double>& reduced_x);
     void run_user_heuristic(const std::vector<double>& reduced_x);
     /// Solve the engine's current LP; returns the simplex status.
     SolveStatus solve_node_lp();
     /// Process one node: solve, prune/bound/branch; dives depth-first.
-    void dive(std::shared_ptr<const NodeData> node);
+    /// `warm_start` records whether the popped node loaded its parent
+    /// basis, for the warm/cold pivot accounting.
+    void dive(std::shared_ptr<const NodeData> node, bool warm_start);
 
     Search& s_;
     lp::SimplexEngine engine_;
     std::vector<Pseudocost> pcost_;  // indexed by reduced column
     std::int64_t lp_iterations_ = 0;
+    // This worker's share of the cache counters: loaded/cold_pops and the
+    // pivot split (stored/evicted live on the Search, under heap_mutex_).
+    lp::BasisCacheStats basis_stats_;
     // Bound of the last node this worker started processing: when the
     // search is stopped early, the worker's (possibly abandoned) subtree
     // is bounded below by it, so it feeds MipResult::best_bound.
@@ -149,7 +176,14 @@ class Search {
   /// the incumbent.
   void offer_incumbent(const std::vector<double>& orig_x);
   void offer_incumbent_reduced(const std::vector<double>& reduced_x);
-  void push_open(double bound, std::shared_ptr<const NodeData> data);
+  /// Push an open node, optionally carrying its parent's basis snapshot.
+  /// Storing may evict the least-recently-stored snapshot to stay under
+  /// MipOptions::max_stored_bases.
+  void push_open(double bound, std::shared_ptr<const NodeData> data,
+                 std::shared_ptr<const lp::Basis> parent_basis = nullptr);
+  /// Drop a queued node's snapshot without consuming it (pruned while
+  /// queued).  Caller holds heap_mutex_.
+  void release_basis_locked(const std::shared_ptr<BasisSlot>& slot);
 
   const lp::Model& original_;
   MipOptions options_;
@@ -167,6 +201,15 @@ class Search {
   std::priority_queue<OpenNode, std::vector<OpenNode>, BestFirstOrder> open_;
   std::uint64_t next_seq_ = 0;
   int active_workers_ = 0;  // workers currently inside a dive
+
+  // Basis snapshot cache bookkeeping, all guarded by heap_mutex_.  The
+  // FIFO holds every stored slot in storage order; eviction clears the
+  // oldest slot still carrying a basis (the weak_ptr lets slots whose
+  // nodes were already popped or discarded expire in place).
+  std::deque<std::weak_ptr<BasisSlot>> basis_fifo_;
+  std::size_t stored_bases_ = 0;  // slots currently holding a snapshot
+  lp::BasisCacheStats basis_stats_;  // stored/evicted side (workers add
+                                     // their loaded/cold/pivot shares)
 
   // Incumbent, in ORIGINAL variable space with TOTAL objective.  The
   // atomic snapshot lets pruning read the objective without the mutex.
@@ -266,15 +309,53 @@ void Search::offer_incumbent_reduced(const std::vector<double>& reduced_x) {
   offer_incumbent(lp::postsolve(pre_, reduced_x));
 }
 
-void Search::push_open(double bound, std::shared_ptr<const NodeData> data) {
+void Search::push_open(double bound, std::shared_ptr<const NodeData> data,
+                       std::shared_ptr<const lp::Basis> parent_basis) {
+  std::shared_ptr<BasisSlot> slot;
+  if (parent_basis != nullptr) {
+    slot = std::make_shared<BasisSlot>();
+    slot->basis = std::move(parent_basis);
+  }
   {
     const std::scoped_lock lock(heap_mutex_);
-    open_.push(OpenNode{bound, next_seq_++, std::move(data)});
+    if (slot != nullptr) {
+      ++stored_bases_;
+      ++basis_stats_.stored;
+      basis_fifo_.push_back(slot);
+      // Over the cap: clear the least-recently-stored snapshot still
+      // alive.  Its node stays queued and will re-solve cold.
+      while (stored_bases_ > options_.max_stored_bases &&
+             !basis_fifo_.empty()) {
+        const std::shared_ptr<BasisSlot> oldest = basis_fifo_.front().lock();
+        basis_fifo_.pop_front();
+        if (oldest == nullptr || oldest->basis == nullptr) continue;
+        oldest->basis.reset();
+        --stored_bases_;
+        ++basis_stats_.evicted;
+      }
+      // The FIFO accumulates expired entries for snapshots consumed at
+      // pop; compact before it outgrows the live population by much.
+      if (basis_fifo_.size() >
+          2 * std::max<std::size_t>(options_.max_stored_bases, 64)) {
+        std::erase_if(basis_fifo_, [](const std::weak_ptr<BasisSlot>& w) {
+          const std::shared_ptr<BasisSlot> s = w.lock();
+          return s == nullptr || s->basis == nullptr;
+        });
+      }
+    }
+    open_.push(OpenNode{bound, next_seq_++, std::move(data), std::move(slot)});
   }
   heap_cv_.notify_one();
 }
 
-void Search::Worker::apply_path(const NodeData* node) {
+void Search::release_basis_locked(const std::shared_ptr<BasisSlot>& slot) {
+  if (slot != nullptr && slot->basis != nullptr) {
+    slot->basis.reset();
+    --stored_bases_;
+  }
+}
+
+void Search::Worker::apply_path(const NodeData* node, const lp::Basis* warm) {
   engine_.reset_bounds();
   // Collect root->leaf order; later changes on the same variable must win.
   std::vector<const NodeData*> chain;
@@ -287,7 +368,16 @@ void Search::Worker::apply_path(const NodeData* node) {
       engine_.set_column_bounds(c.var, c.lb, c.ub);
     }
   }
-  engine_.refresh_basic_solution();
+  if (warm != nullptr) {
+    // The node's own parent basis: dual feasible under the re-derived
+    // bounds (they differ from the snapshot's by one branching change,
+    // and reduced costs do not depend on bounds), so the dual simplex
+    // resumes as if this worker had just solved the parent.  load_basis
+    // refreshes the basic solution itself.
+    engine_.load_basis(*warm);
+  } else {
+    engine_.refresh_basic_solution();
+  }
 }
 
 Index Search::Worker::pick_branch_var(const std::vector<double>& x) const {
@@ -362,7 +452,8 @@ SolveStatus Search::Worker::solve_node_lp() {
   return status;
 }
 
-void Search::Worker::dive(std::shared_ptr<const NodeData> node) {
+void Search::Worker::dive(std::shared_ptr<const NodeData> node,
+                          bool warm_start) {
   // Entry contract: bounds + basic solution reflect `node`; LP not yet
   // solved.  Each loop iteration processes one node and either prunes
   // (return) or pushes one child to the shared heap and follows the other.
@@ -373,13 +464,27 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node) {
   bool pending_up = false;
   double pending_frac = 0.0;
   double pending_parent_obj = 0.0;
+  // First loop iteration = the popped node itself; its LP pivots feed the
+  // warm/cold split.  Later iterations are plunge nodes, warm by
+  // construction (the engine never leaves this subtree mid-dive).
+  bool at_popped_node = true;
 
   while (true) {
     if (s_.limits_hit()) return;
     const std::int64_t node_ordinal =
         s_.nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
 
+    const std::int64_t pivots_before = engine_.stats().iterations;
     const SolveStatus lp_status = solve_node_lp();
+    if (at_popped_node) {
+      at_popped_node = false;
+      const std::int64_t pivots = engine_.stats().iterations - pivots_before;
+      if (warm_start) {
+        basis_stats_.warm_pop_pivots += pivots;
+      } else {
+        basis_stats_.cold_pop_pivots += pivots;
+      }
+    }
     if (lp_status == SolveStatus::kInfeasible) return;  // pruned
     if (lp_status == SolveStatus::kTimeLimit) {
       s_.request_stop(SolveStatus::kTimeLimit);
@@ -454,7 +559,17 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node) {
     defer_data->change = defer;
     defer_data->depth = follow_data->depth;
 
-    s_.push_open(node_bound, std::move(defer_data));
+    // The deferred sibling's parent basis is exactly the engine's current
+    // (optimal) basis — snapshot it into the cache so whichever worker
+    // pops the sibling later warm-starts one bound change away, instead
+    // of from its own engine's unrelated subtree.  With the cache off
+    // (max_stored_bases == 0) the sibling is pushed cold.
+    std::shared_ptr<const lp::Basis> defer_basis;
+    if (s_.options_.max_stored_bases > 0) {
+      defer_basis =
+          std::make_shared<const lp::Basis>(engine_.snapshot_basis());
+    }
+    s_.push_open(node_bound, std::move(defer_data), std::move(defer_basis));
 
     engine_.set_column_bounds(branch_var, follow.lb, follow.ub);
     engine_.refresh_basic_solution();
@@ -489,14 +604,31 @@ void Search::Worker::loop() {
     }
     OpenNode top = s_.open_.top();
     s_.open_.pop();
-    if (top.bound >= s_.prune_threshold()) continue;  // pruned while queued
+    if (top.bound >= s_.prune_threshold()) {
+      // Pruned while queued: free its snapshot's cache slot (not an
+      // eviction — the node is gone, not the basis under pressure).
+      s_.release_basis_locked(top.slot);
+      continue;
+    }
+    // Consume the node's snapshot while still under heap_mutex_ (eviction
+    // mutates slots under the same lock).
+    std::shared_ptr<const lp::Basis> warm;
+    if (top.slot != nullptr && top.slot->basis != nullptr) {
+      warm = std::move(top.slot->basis);
+      --s_.stored_bases_;
+      ++basis_stats_.loaded;
+    } else {
+      ++basis_stats_.cold_pops;
+    }
     last_popped_bound_ = top.bound;
     popped_any_ = true;
     ++s_.active_workers_;
     lock.unlock();
 
-    apply_path(top.data.get());
-    dive(std::move(top.data));
+    const bool warm_start = warm != nullptr;
+    apply_path(top.data.get(), warm.get());
+    warm.reset();  // the engine holds the state now; free the snapshot
+    dive(std::move(top.data), warm_start);
 
     lock.lock();
     --s_.active_workers_;
@@ -608,9 +740,11 @@ MipResult Search::run() {
 
   // ---- wrap up -----------------------------------------------------------
   result_.simplex_refactorizations = root_refactorizations;
+  result_.basis = basis_stats_;  // stored/evicted (heap side)
   for (const auto& worker : workers) {
     result_.lp_iterations += worker->lp_iterations();
     result_.simplex_refactorizations += worker->refactorizations();
+    result_.basis += worker->basis_stats();  // loaded/cold/pivot split
   }
   result_.nodes = nodes_.load(std::memory_order_relaxed);
   result_.seconds = timer_.seconds();

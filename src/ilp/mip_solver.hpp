@@ -7,6 +7,10 @@
 //   * best-first node selection with PLUNGING: the popped node starts a
 //     depth-first dive that reuses the engine's warm basis, so only heap
 //     pops pay a refactorization;
+//   * a per-open-node BASIS CACHE (MipOptions::max_stored_bases): a
+//     pushed node carries a snapshot of its parent's optimal basis, and
+//     the pop restores it — so even a heap pop warm-starts one branching
+//     change away instead of from an unrelated subtree;
 //   * branching on pseudocosts with most-fractional initialization;
 //   * incumbents from integral LP relaxations, an optional user-supplied
 //     primal heuristic (the complete memory mapper injects its packing
@@ -60,7 +64,16 @@ struct MipOptions {
   /// The mapping formulations' port/capacity knapsacks leave the plain
   /// LP bound several percent weak; covers close most of it.
   int max_cut_rounds = 8;
-  /// Snapshot at most this many node bases; further nodes re-solve cold.
+  /// Per-open-node LP basis cache: every node pushed to the shared heap
+  /// carries a snapshot of its parent's optimal basis, and the worker
+  /// that later pops it warm-starts from that snapshot — so a heap pop
+  /// pays dual pivots proportional to ONE branching change instead of a
+  /// subtree switch away from whatever the worker's engine last held.
+  /// At most this many snapshots are stored at once; beyond the cap the
+  /// least-recently-stored snapshot is evicted (its node re-solves cold,
+  /// which is slower but never wrong).  0 disables the cache entirely.
+  /// The cache only ever changes how fast nodes re-solve, never which
+  /// objective the search returns.
   std::size_t max_stored_bases = 4096;
   /// Invoke the primal heuristic at the root and every N processed nodes.
   std::int64_t heuristic_period = 256;
@@ -99,6 +112,10 @@ struct MipResult {
   std::int64_t lp_iterations = 0;
   std::int64_t simplex_refactorizations = 0;
   std::int64_t cover_cuts = 0;  // cuts added during root separation
+  /// Basis warm-start cache counters (see MipOptions::max_stored_bases):
+  /// snapshots stored/loaded/evicted plus the dual-pivot split between
+  /// warm-started and cold heap pops.
+  lp::BasisCacheStats basis;
   double seconds = 0.0;
 
   [[nodiscard]] bool has_incumbent() const { return !x.empty(); }

@@ -27,4 +27,46 @@ struct Basis {
   [[nodiscard]] bool empty() const { return basic_in_row.empty(); }
 };
 
+/// Counters for the branch & bound's per-open-node basis snapshot cache
+/// (MipOptions::max_stored_bases).  `loaded` heap pops warm-started from
+/// their own parent's basis; `cold_pops` re-solved from whatever basis
+/// the worker's engine last held (snapshot evicted, cache disabled, or
+/// the root).  The pivot split is the cache's effectiveness measure: the
+/// dual pivots the popped node's FIRST LP paid, bucketed by whether it
+/// warm-started.
+struct BasisCacheStats {
+  std::int64_t stored = 0;   // snapshots attached to pushed open nodes
+  std::int64_t loaded = 0;   // pops that restored their parent basis
+  std::int64_t evicted = 0;  // snapshots dropped under the storage cap
+  std::int64_t cold_pops = 0;         // pops with no snapshot available
+  std::int64_t warm_pop_pivots = 0;   // dual pivots at warm-started pops
+  std::int64_t cold_pop_pivots = 0;   // dual pivots at cold pops
+
+  /// Fraction of heap pops that found their parent basis in the cache.
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t pops = loaded + cold_pops;
+    return pops > 0 ? static_cast<double>(loaded) / static_cast<double>(pops)
+                    : 0.0;
+  }
+
+  /// Mean dual pivots a heap pop paid for its first LP, warm and cold
+  /// pops combined — the trajectory the cache exists to push down.
+  [[nodiscard]] double pivots_per_pop() const {
+    const std::int64_t pops = loaded + cold_pops;
+    return pops > 0 ? static_cast<double>(warm_pop_pivots + cold_pop_pivots) /
+                          static_cast<double>(pops)
+                    : 0.0;
+  }
+
+  BasisCacheStats& operator+=(const BasisCacheStats& other) {
+    stored += other.stored;
+    loaded += other.loaded;
+    evicted += other.evicted;
+    cold_pops += other.cold_pops;
+    warm_pop_pivots += other.warm_pop_pivots;
+    cold_pop_pivots += other.cold_pop_pivots;
+    return *this;
+  }
+};
+
 }  // namespace gmm::lp

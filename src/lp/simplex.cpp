@@ -159,8 +159,52 @@ void SimplexEngine::load_basis(const Basis& basis) {
     }
   }
   refactorize();
-  refresh_basic_solution();
   compute_duals();
+  // Repair DUAL feasibility.  A snapshot taken on this engine's own
+  // parent node is dual feasible by construction (bounds don't enter the
+  // duals), but a basis loaded from elsewhere — a different LP of the
+  // same shape, or a snapshot whose nonbasic sides a long bound path
+  // invalidated — may put a column on the bound its reduced cost argues
+  // against.  Flipping such a column to its other finite bound restores
+  // the dual-simplex entry contract without touching the duals (they
+  // depend only on the basic set).  A column that cannot be flipped
+  // (wrong-sign reduced cost with no opposite finite bound) admits no
+  // cheap repair: fall back to the all-logical basis, which is always a
+  // valid cold start — degraded, never wrong.
+  for (Index j = 0; j < n_; ++j) {
+    switch (stat_[j]) {
+      case VStat::kBasic:
+      case VStat::kFixed:
+        break;
+      case VStat::kAtLower:
+        if (d_[j] < -kDualTol) {
+          if (ub_[j] >= kInf) {
+            reset_to_logical_basis();
+            return;
+          }
+          stat_[j] = VStat::kAtUpper;
+        }
+        break;
+      case VStat::kAtUpper:
+        if (d_[j] > kDualTol) {
+          if (lb_[j] <= -kInf) {
+            reset_to_logical_basis();
+            return;
+          }
+          stat_[j] = VStat::kAtLower;
+        }
+        break;
+      case VStat::kFree:
+        if (std::abs(d_[j]) > kDualTol) {
+          // A nonbasic free column with nonzero reduced cost has no bound
+          // to sit on at all; only a cold start is safe.
+          reset_to_logical_basis();
+          return;
+        }
+        break;
+    }
+  }
+  refresh_basic_solution();
 }
 
 Basis SimplexEngine::snapshot_basis() const { return Basis{basis_, stat_}; }

@@ -59,7 +59,14 @@ class SimplexEngine {
   /// prefers.  Dual feasible for any model where each structural variable
   /// has a finite bound on the side its cost pushes toward.
   void reset_to_logical_basis();
-  /// Restore a snapshot taken on the same standard form.
+  /// Restore a snapshot taken on the same standard form (asserts the
+  /// shapes match).  Nonbasic statuses are normalized against the current
+  /// working bounds, then repaired to DUAL feasibility: columns sitting on
+  /// the bound their reduced cost argues against are flipped to the other
+  /// finite bound, and if any column admits no such repair (or the basis
+  /// is singular beyond refactorize()'s row repair) the engine degrades to
+  /// the all-logical cold basis — loading a foreign or stale basis can
+  /// cost pivots, never correctness.
   void load_basis(const Basis& basis);
   [[nodiscard]] Basis snapshot_basis() const;
 

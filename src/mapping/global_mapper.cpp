@@ -214,6 +214,7 @@ GlobalResult map_global(const design::Design& design,
   result.effort.solve_seconds = timer.seconds();
   result.effort.bnb_nodes = result.mip.nodes;
   result.effort.lp_iterations = result.mip.lp_iterations;
+  result.effort.basis = result.mip.basis;
   result.status = result.mip.status;
   if (!result.mip.has_incumbent()) return result;
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/basis.hpp"
 #include "lp/types.hpp"
 #include "mapping/preprocess.hpp"
 
@@ -67,6 +68,9 @@ struct SolveEffort {
   double detailed_seconds = 0.0;
   std::int64_t bnb_nodes = 0;
   std::int64_t lp_iterations = 0;
+  /// Branch & bound basis warm-start cache counters, cumulative over the
+  /// solves behind this result (the pipeline's retry loop sums them).
+  lp::BasisCacheStats basis;
 
   [[nodiscard]] double total_seconds() const {
     return preprocess_seconds + formulate_seconds + solve_seconds +

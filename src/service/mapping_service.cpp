@@ -105,6 +105,16 @@ void MappingService::handle(const Request& request) {
       sink_(pong);
       return;
     }
+    case Method::kStats: {
+      Response snapshot;
+      snapshot.id = request.id;
+      snapshot.method = "stats";
+      snapshot.status = ResponseStatus::kOk;
+      snapshot.has_stats = true;
+      snapshot.stats = stats();
+      sink_(snapshot);
+      return;
+    }
     case Method::kShutdown: {
       // Draining is the serve loop's job (it must stop feeding requests
       // first); acknowledge so a bare service user still gets a reply.
@@ -256,6 +266,17 @@ void MappingService::run_map(const std::string& id, const MapRequest& request,
     response.retries = result.retries;
   }
 
+  // Fold this solve's effort into the aggregate counters the `stats`
+  // method reports.  `effort` is cumulative over the pipeline's retries,
+  // so one request counts every global solve it triggered.
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.solves;
+    stats_.nodes += effort.bnb_nodes;
+    stats_.lp_iterations += effort.lp_iterations;
+    stats_.basis += effort.basis;
+  }
+
   response.status = classify(status, mip_result);
   // A result payload only when the solve produced a usable mapping —
   // i.e. detailed placement succeeded.  This excludes both a
@@ -302,23 +323,25 @@ void MappingService::run_map(const std::string& id, const MapRequest& request,
 }
 
 void MappingService::finish(Response response) {
-  // Deregister BEFORE sinking, so a cancel racing this completion is
-  // acked found:false once the terminal response is (about to be) on the
-  // wire — the protocol's "already finished" contract.  But decrement
-  // pending_ only AFTER the sink: drain() returning must guarantee every
-  // terminal response has been fully written, or a shutdown ack could
-  // overtake the final result.
+  // Deregister and COUNT before sinking: a cancel racing this completion
+  // is acked found:false once the terminal response is (about to be) on
+  // the wire — the protocol's "already finished" contract — and a client
+  // that has read a terminal response must never see `stats` counters
+  // that miss it (stats may run slightly ahead of the wire, never
+  // behind).  But decrement pending_ only AFTER the sink: drain()
+  // returning must guarantee every terminal response has been fully
+  // written, or a shutdown ack could overtake the final result.
   {
     const std::scoped_lock lock(mutex_);
     active_.erase(response.id);
+    ++stats_.completed;
+    if (response.status == ResponseStatus::kCancelled) ++stats_.cancelled;
+    if (response.status == ResponseStatus::kTimeout) ++stats_.timed_out;
   }
   sink_(response);
   {
     const std::scoped_lock lock(mutex_);
     --pending_;
-    ++stats_.completed;
-    if (response.status == ResponseStatus::kCancelled) ++stats_.cancelled;
-    if (response.status == ResponseStatus::kTimeout) ++stats_.timed_out;
   }
   idle_cv_.notify_all();
 }

@@ -52,14 +52,8 @@ struct ServiceOptions {
   int max_threads_per_solve = 8;
 };
 
-/// Monotonic counters for monitoring and the stress tests.
-struct ServiceStats {
-  std::int64_t accepted = 0;
-  std::int64_t rejected = 0;
-  std::int64_t completed = 0;  // terminal responses emitted, any status
-  std::int64_t cancelled = 0;
-  std::int64_t timed_out = 0;
-};
+// ServiceStats (request accounting + aggregate solver counters) lives in
+// service/protocol.hpp: it is also the `stats` method's wire payload.
 
 class MappingService {
  public:
@@ -80,9 +74,9 @@ class MappingService {
   MappingService& operator=(const MappingService&) = delete;
 
   /// Dispatch one parsed request.  kMap is answered asynchronously from a
-  /// worker; kCancel/kPing (and kInvalid) are answered synchronously on
-  /// the calling thread.  kShutdown is the caller's job (drain + exit) —
-  /// passing it here just acks it without draining.
+  /// worker; kCancel/kPing/kStats (and kInvalid) are answered
+  /// synchronously on the calling thread.  kShutdown is the caller's job
+  /// (drain + exit) — passing it here just acks it without draining.
   void handle(const Request& request);
 
   /// Block until every admitted request has emitted its terminal response.

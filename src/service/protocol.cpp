@@ -86,6 +86,8 @@ Request parse_request_line(const std::string& line) {
     request.method = Method::kCancel;
   } else if (method == "ping") {
     request.method = Method::kPing;
+  } else if (method == "stats") {
+    request.method = Method::kStats;
   } else if (method == "shutdown") {
     request.method = Method::kShutdown;
   } else if (method.empty()) {
@@ -148,6 +150,25 @@ Json Response::to_json() const {
     }
     object["placements"] = std::move(rows);
   }
+  if (has_stats) {
+    object["accepted"] = stats.accepted;
+    object["rejected"] = stats.rejected;
+    object["completed"] = stats.completed;
+    object["cancelled"] = stats.cancelled;
+    object["timed_out"] = stats.timed_out;
+    JsonObject solver;
+    solver["solves"] = stats.solves;
+    solver["nodes"] = stats.nodes;
+    solver["lp_iterations"] = stats.lp_iterations;
+    solver["bases_stored"] = stats.basis.stored;
+    solver["bases_loaded"] = stats.basis.loaded;
+    solver["bases_evicted"] = stats.basis.evicted;
+    solver["cold_pops"] = stats.basis.cold_pops;
+    solver["warm_pop_pivots"] = stats.basis.warm_pop_pivots;
+    solver["cold_pop_pivots"] = stats.basis.cold_pop_pivots;
+    solver["basis_hit_rate"] = stats.basis.hit_rate();
+    object["solver"] = std::move(solver);
+  }
   return Json(std::move(object));
 }
 
@@ -203,6 +224,32 @@ bool Response::from_json(const Json& value, Response& out) {
         p.kind = row.get_string("kind");
         out.placements.push_back(std::move(p));
       }
+    }
+  }
+  if (out.method == "stats" && value.find("accepted") != nullptr) {
+    out.has_stats = true;
+    const auto count = [&value](const char* key) {
+      return static_cast<std::int64_t>(value.get_number(key, 0.0));
+    };
+    out.stats.accepted = count("accepted");
+    out.stats.rejected = count("rejected");
+    out.stats.completed = count("completed");
+    out.stats.cancelled = count("cancelled");
+    out.stats.timed_out = count("timed_out");
+    const Json* solver = value.find("solver");
+    if (solver != nullptr && solver->is_object()) {
+      const auto scount = [solver](const char* key) {
+        return static_cast<std::int64_t>(solver->get_number(key, 0.0));
+      };
+      out.stats.solves = scount("solves");
+      out.stats.nodes = scount("nodes");
+      out.stats.lp_iterations = scount("lp_iterations");
+      out.stats.basis.stored = scount("bases_stored");
+      out.stats.basis.loaded = scount("bases_loaded");
+      out.stats.basis.evicted = scount("bases_evicted");
+      out.stats.basis.cold_pops = scount("cold_pops");
+      out.stats.basis.warm_pop_pivots = scount("warm_pop_pivots");
+      out.stats.basis.cold_pop_pivots = scount("cold_pop_pivots");
     }
   }
   return true;

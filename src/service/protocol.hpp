@@ -14,6 +14,7 @@
 //             none; 0 = already expired, i.e. reject unless trivial)
 //   {"id":"c1","method":"cancel","target":"r1"}           cancel a request
 //   {"id":"p1","method":"ping"}                           liveness probe
+//   {"id":"s1","method":"stats"}                          service counters
 //   {"method":"shutdown"}                                 drain and exit
 //
 // Responses (exactly one terminal response per map request, correlated by
@@ -27,6 +28,16 @@
 //   error.  timeout / cancelled responses still carry the best-effort
 //   partial result when the stopped solve had an incumbent.
 //
+//   {"id":"s1","method":"stats","status":"ok","accepted":3,"rejected":0,
+//    "completed":3,"cancelled":0,"timed_out":1,
+//    "solver":{"solves":3,"nodes":120,"lp_iterations":987,
+//              "bases_stored":64,"bases_loaded":60,"bases_evicted":0,
+//              "cold_pops":4,"warm_pop_pivots":95,"cold_pop_pivots":310,
+//              "basis_hit_rate":0.9375}}
+//   stats is answered synchronously: request accounting plus the solver
+//   counters (branch & bound nodes, LP pivots, basis warm-start cache)
+//   summed over every solve the service has completed.
+//
 // Deadline semantics: the clock starts when the request is accepted, so
 // queue wait counts against it.  Cancel semantics: cancelling an in-flight
 // request stops the branch & bound at its next node boundary; cancelling
@@ -39,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/basis.hpp"
 #include "service/json.hpp"
 
 namespace gmm::service {
@@ -47,8 +59,27 @@ enum class Method : std::uint8_t {
   kMap,
   kCancel,
   kPing,
+  kStats,
   kShutdown,
   kInvalid,  // unparseable line or unknown method; `error` says why
+};
+
+/// Monotonic counters for monitoring, the `stats` protocol method, and
+/// the stress tests: request accounting plus the solver effort
+/// aggregated over every completed solve (the `solver` wire object).
+struct ServiceStats {
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;  // terminal responses emitted, any status
+  std::int64_t cancelled = 0;
+  std::int64_t timed_out = 0;
+
+  // Aggregate solver counters, summed over completed solves (requests
+  // that reached the solver; rejected/queue-cancelled ones never do).
+  std::int64_t solves = 0;
+  std::int64_t nodes = 0;          // branch & bound nodes
+  std::int64_t lp_iterations = 0;  // dual-simplex pivots
+  lp::BasisCacheStats basis;       // warm-start cache counters
 };
 
 /// A "map" request body.  Defaults chosen so an empty object is invalid
@@ -123,6 +154,10 @@ struct Response {
   double seconds = 0.0;
   int retries = 0;
   std::vector<PlacementEntry> placements;
+
+  // Stats payload (has_stats == true on a `stats` response).
+  bool has_stats = false;
+  ServiceStats stats;
 
   [[nodiscard]] Json to_json() const;
   /// Single protocol line (no trailing newline).

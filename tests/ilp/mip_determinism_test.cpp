@@ -1,6 +1,10 @@
 // Solver determinism regression over the paper's Table-3 workloads: the
-// same global-mapping model solved with num_threads ∈ {1, 2, 4, 8} must
-// return identical objectives.  Under exact (sub-integer gap) options the equality is
+// same global-mapping model solved with num_threads ∈ {1, 2, 4, 8} —
+// crossed with the basis warm-start cache on (max_stored_bases = 4096),
+// off (= 0), and capped tiny (= 3, constant eviction churn) — must
+// return identical objectives.  The cache only changes how fast a popped
+// node re-solves, never which LP optimum a node proves, so it must never
+// change WHAT the search finds.  Under exact (sub-integer gap) options the equality is
 // EXACT (EXPECT_EQ on the doubles): the parallel search only ever prunes
 // on proven bounds, so every thread count proves the same optimum, and
 // the default cost weights make every objective an integer-valued sum
@@ -27,9 +31,11 @@ namespace {
 
 using lp::SolveStatus;
 
-mapping::GlobalOptions exact_options(int threads) {
+mapping::GlobalOptions exact_options(int threads,
+                                     std::size_t max_stored_bases = 4096) {
   mapping::GlobalOptions options;
   options.mip.num_threads = threads;
+  options.mip.max_stored_bases = max_stored_bases;
   options.mip.rel_gap = 0.0;
   // 0.5 is EXACT for the integer-valued mapping objectives (any strictly
   // better incumbent improves by >= 1, so nothing optimal is ever
@@ -41,7 +47,7 @@ mapping::GlobalOptions exact_options(int threads) {
 
 class Table3Determinism : public ::testing::TestWithParam<int> {};
 
-TEST_P(Table3Determinism, IdenticalObjectivesAcrossThreadCounts) {
+TEST_P(Table3Determinism, IdenticalObjectivesAcrossThreadsAndCacheModes) {
   const workload::Table3Point& point =
       workload::table3_points()[static_cast<std::size_t>(GetParam())];
   const workload::Table3Instance instance = workload::build_instance(point);
@@ -51,25 +57,46 @@ TEST_P(Table3Determinism, IdenticalObjectivesAcrossThreadCounts) {
       instance.design, instance.board, table, exact_options(1));
   ASSERT_EQ(serial.status, SolveStatus::kOptimal) << "point " << point.index;
 
-  for (const int threads : {2, 4, 8}) {
-    const mapping::GlobalResult parallel = mapping::map_global(
-        instance.design, instance.board, table, exact_options(threads));
-    ASSERT_EQ(parallel.status, SolveStatus::kOptimal)
-        << "point " << point.index << ", " << threads << " threads";
-    EXPECT_EQ(parallel.assignment.objective, serial.assignment.objective)
-        << "point " << point.index << ", " << threads << " threads";
+  // Thread counts crossed with the warm-start cache wide open, disabled,
+  // and squeezed to 3 slots (every push evicts): the cache may only ever
+  // change solve SPEED, so every combination proves the same optimum.
+  for (const std::size_t cap : {std::size_t{4096}, std::size_t{0},
+                                std::size_t{3}}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      if (threads == 1 && cap == 4096) continue;  // the reference itself
+      const mapping::GlobalResult parallel = mapping::map_global(
+          instance.design, instance.board, table,
+          exact_options(threads, cap));
+      ASSERT_EQ(parallel.status, SolveStatus::kOptimal)
+          << "point " << point.index << ", " << threads << " threads, cap "
+          << cap;
+      EXPECT_EQ(parallel.assignment.objective, serial.assignment.objective)
+          << "point " << point.index << ", " << threads << " threads, cap "
+          << cap;
 
-    // Incumbent identity at the guaranteed level: a complete assignment
-    // whose recomputed objective is exactly the serial optimum.
-    ASSERT_TRUE(parallel.assignment.complete());
-    ASSERT_EQ(parallel.assignment.type_of.size(), instance.design.size());
-    for (const int t : parallel.assignment.type_of) {
-      ASSERT_GE(t, 0);
-      ASSERT_LT(t, static_cast<int>(instance.board.num_types()));
+      // The cache's own accounting must be consistent with its mode.
+      const lp::BasisCacheStats& basis = parallel.mip.basis;
+      if (cap == 0) {
+        EXPECT_EQ(basis.stored, 0);
+        EXPECT_EQ(basis.loaded, 0);
+        EXPECT_EQ(basis.evicted, 0);
+      } else {
+        EXPECT_LE(basis.loaded + basis.evicted, basis.stored);
+      }
+
+      // Incumbent identity at the guaranteed level: a complete assignment
+      // whose recomputed objective is exactly the serial optimum.
+      ASSERT_TRUE(parallel.assignment.complete());
+      ASSERT_EQ(parallel.assignment.type_of.size(), instance.design.size());
+      for (const int t : parallel.assignment.type_of) {
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, static_cast<int>(instance.board.num_types()));
+      }
+      EXPECT_EQ(table.assignment_objective(parallel.assignment.type_of),
+                serial.assignment.objective)
+          << "point " << point.index << ", " << threads << " threads, cap "
+          << cap;
     }
-    EXPECT_EQ(table.assignment_objective(parallel.assignment.type_of),
-              serial.assignment.objective)
-        << "point " << point.index << ", " << threads << " threads";
   }
 }
 
@@ -85,22 +112,33 @@ INSTANTIATE_TEST_SUITE_P(TractablePoints, Table3Determinism,
 
 TEST(Table3Determinism, SerialRunsAreBitwiseIdentical) {
   // Where full determinism IS promised — 1 thread — two runs must agree
-  // bit for bit: incumbent vector, node count, LP iterations.
+  // bit for bit: incumbent vector, node count, LP iterations.  The cache
+  // (on, off, or thrashing-tiny) must preserve that promise: its push,
+  // pop, and FIFO-eviction order is a pure function of the serial search
+  // order.  Runs with DIFFERENT cache settings may legitimately differ in
+  // node counts (warm starts land on different optimal LP vertices); runs
+  // with the SAME settings may not differ at all.
   const workload::Table3Instance instance =
       workload::build_instance(workload::table3_points()[2]);
   const mapping::CostTable table(instance.design, instance.board);
-  const mapping::GlobalResult a = mapping::map_global(
-      instance.design, instance.board, table, exact_options(1));
-  const mapping::GlobalResult b = mapping::map_global(
-      instance.design, instance.board, table, exact_options(1));
-  ASSERT_EQ(a.status, SolveStatus::kOptimal);
-  EXPECT_EQ(a.assignment.objective, b.assignment.objective);
-  EXPECT_EQ(a.assignment.type_of, b.assignment.type_of);
-  EXPECT_EQ(a.mip.nodes, b.mip.nodes);
-  EXPECT_EQ(a.mip.lp_iterations, b.mip.lp_iterations);
-  ASSERT_EQ(a.mip.x.size(), b.mip.x.size());
-  for (std::size_t j = 0; j < a.mip.x.size(); ++j) {
-    EXPECT_EQ(a.mip.x[j], b.mip.x[j]) << "column " << j;
+  for (const std::size_t cap : {std::size_t{4096}, std::size_t{0},
+                                std::size_t{3}}) {
+    const mapping::GlobalResult a = mapping::map_global(
+        instance.design, instance.board, table, exact_options(1, cap));
+    const mapping::GlobalResult b = mapping::map_global(
+        instance.design, instance.board, table, exact_options(1, cap));
+    ASSERT_EQ(a.status, SolveStatus::kOptimal) << "cap " << cap;
+    EXPECT_EQ(a.assignment.objective, b.assignment.objective) << "cap " << cap;
+    EXPECT_EQ(a.assignment.type_of, b.assignment.type_of) << "cap " << cap;
+    EXPECT_EQ(a.mip.nodes, b.mip.nodes) << "cap " << cap;
+    EXPECT_EQ(a.mip.lp_iterations, b.mip.lp_iterations) << "cap " << cap;
+    EXPECT_EQ(a.mip.basis.stored, b.mip.basis.stored) << "cap " << cap;
+    EXPECT_EQ(a.mip.basis.loaded, b.mip.basis.loaded) << "cap " << cap;
+    EXPECT_EQ(a.mip.basis.evicted, b.mip.basis.evicted) << "cap " << cap;
+    ASSERT_EQ(a.mip.x.size(), b.mip.x.size()) << "cap " << cap;
+    for (std::size_t j = 0; j < a.mip.x.size(); ++j) {
+      EXPECT_EQ(a.mip.x[j], b.mip.x[j]) << "column " << j << ", cap " << cap;
+    }
   }
 }
 

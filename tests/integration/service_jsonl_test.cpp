@@ -5,6 +5,8 @@
 //   * a liveness ping,
 //   * 8 concurrent mapping requests whose placements and objectives are
 //     checked against in-process map_pipeline runs of the same designs,
+//   * a stats round-trip whose request accounting and aggregate solver
+//     counters must reflect those 8 solves,
 //   * a deadline-limited request that must come back "timeout",
 //   * a cancelled request that must come back "cancelled",
 //   * a graceful shutdown (ack, clean exit code, no hang).
@@ -147,6 +149,31 @@ TEST(ServiceJsonl, FullSessionAgainstRealServer) {
       expected.insert(ds.name);
     }
     EXPECT_EQ(placed, expected) << "m" << i;
+  }
+
+  // -- stats round-trip --------------------------------------------------
+  // All 8 map responses are on the wire, so the counters are settled:
+  // 8 accepted, 8 completed, 8 solves, and at least one B&B node each.
+  ASSERT_TRUE(client.send_line(R"({"id":"st","method":"stats"})"));
+  {
+    const auto line = client.read_line(kReadTimeout);
+    ASSERT_TRUE(line.has_value()) << "no stats response";
+    const JsonParseResult parsed = parse_json(*line);
+    ASSERT_TRUE(parsed.ok) << *line;
+    Response stats;
+    ASSERT_TRUE(Response::from_json(parsed.value, stats)) << *line;
+    EXPECT_EQ(stats.id, "st");
+    EXPECT_EQ(stats.method, "stats");
+    EXPECT_EQ(stats.status, ResponseStatus::kOk);
+    ASSERT_TRUE(stats.has_stats) << *line;
+    EXPECT_EQ(stats.stats.accepted, kConcurrent);
+    EXPECT_EQ(stats.stats.completed, kConcurrent);
+    EXPECT_EQ(stats.stats.rejected, 0);
+    EXPECT_EQ(stats.stats.solves, kConcurrent);
+    EXPECT_GE(stats.stats.nodes, kConcurrent);
+    EXPECT_GT(stats.stats.lp_iterations, 0);
+    EXPECT_LE(stats.stats.basis.loaded + stats.stats.basis.evicted,
+              stats.stats.basis.stored);
   }
 
   // -- deadline-limited request -> timeout -------------------------------

@@ -1,0 +1,183 @@
+// Property tests for Basis snapshot/load on randomized LPs (300 seeds
+// per property):
+//
+//   1. load_basis(snapshot_basis()) of a solved engine into a fresh one
+//      re-solves to the cold objective in (nearly) zero dual pivots —
+//      the warm-start contract the branch & bound's basis cache rests on.
+//   2. A parent-optimal basis restored under ONE tightened bound (the
+//      branch & bound pop path) reaches exactly the cold solve's
+//      status and objective.
+//   3. A basis snapshot from a DIFFERENT random LP of compatible shape
+//      still converges to the right objective: load_basis repairs dual
+//      feasibility (flipping wrong-side nonbasic columns, falling back
+//      to the logical basis when no repair exists), so a foreign basis
+//      can cost pivots, never correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "lp/standard_form.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::lp {
+namespace {
+
+constexpr int kSeeds = 300;
+
+/// Random bounded LP: every variable carries finite bounds on both
+/// sides, so the dual-simplex cold start and the load-time status
+/// repair always have a bound to sit on.  Always feasible (the box
+/// midpoint satisfies every row by construction) and bounded (box).
+Model random_lp(int vars, int rows, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Model model;
+  for (int j = 0; j < vars; ++j) {
+    model.add_variable(0, 10, static_cast<double>(rng.uniform_int(-10, 10)));
+  }
+  for (int i = 0; i < rows; ++i) {
+    LinExpr expr;
+    double mid = 0;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.bernoulli(0.4)) {
+        const double a = static_cast<double>(rng.uniform_int(-5, 5));
+        if (a != 0) {
+          expr.add(j, a);
+          mid += 5 * a;
+        }
+      }
+    }
+    if (expr.empty()) {
+      // Keep the row count (and with it the standard-form shape) a pure
+      // function of (vars, rows): pad with a guaranteed-slack row.
+      expr.add(static_cast<Index>(rng.uniform_int(0, vars - 1)), 1.0);
+      mid = 5.0;
+    }
+    model.add_constraint(expr, Sense::kLessEqual,
+                         mid + static_cast<double>(rng.uniform_int(0, 30)));
+  }
+  return model;
+}
+
+struct Dims {
+  int vars = 0;
+  int rows = 0;
+};
+
+Dims random_dims(support::Rng& rng) {
+  return {static_cast<int>(rng.uniform_int(2, 14)),
+          static_cast<int>(rng.uniform_int(1, 10))};
+}
+
+TEST(BasisRoundtripProperty, SnapshotLoadReSolvesToColdObjective) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed);
+    const Dims dims = random_dims(rng);
+    const Model model = random_lp(dims.vars, dims.rows, seed * 7919);
+    const StandardForm sf = StandardForm::build(model);
+
+    SimplexEngine cold(sf);
+    ASSERT_EQ(cold.solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    const double cold_obj = cold.objective_value();
+    const Basis snapshot = cold.snapshot_basis();
+
+    SimplexEngine warm(sf);
+    warm.load_basis(snapshot);
+    ASSERT_EQ(warm.solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(warm.objective_value(), cold_obj,
+                1e-7 * (1.0 + std::abs(cold_obj)))
+        << "seed " << seed;
+    // An optimal basis restored under unchanged bounds is primal AND
+    // dual feasible: the re-solve must not need to pivot.
+    EXPECT_EQ(warm.stats().iterations, 0) << "seed " << seed;
+  }
+}
+
+TEST(BasisRoundtripProperty, ParentBasisUnderBranchBoundMatchesColdSolve) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed + 1'000'000);
+    const Dims dims = random_dims(rng);
+    const Model model = random_lp(dims.vars, dims.rows, seed * 104729);
+    const StandardForm sf = StandardForm::build(model);
+
+    SimplexEngine parent(sf);
+    ASSERT_EQ(parent.solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    const Basis snapshot = parent.snapshot_basis();
+
+    // One branching-style bound change on a random structural column.
+    const Index j = static_cast<Index>(rng.uniform_int(0, dims.vars - 1));
+    const double value = parent.column_value(j);
+    const bool down = rng.bernoulli(0.5);
+    const double lb = down ? 0.0 : std::min(10.0, std::ceil(value + 0.5));
+    const double ub = down ? std::max(0.0, std::floor(value - 0.5)) : 10.0;
+    if (lb > ub) continue;  // degenerate draw; branching never produces it
+
+    const auto solve_with_bounds = [&](SimplexEngine& engine,
+                                       const Basis* warm) {
+      engine.set_column_bounds(j, lb, ub);
+      if (warm != nullptr) {
+        engine.load_basis(*warm);
+      } else {
+        engine.refresh_basic_solution();
+      }
+      return engine.solve({});
+    };
+
+    SimplexEngine cold(sf);
+    const SolveStatus cold_status = solve_with_bounds(cold, nullptr);
+    SimplexEngine warm(sf);
+    const SolveStatus warm_status = solve_with_bounds(warm, &snapshot);
+
+    ASSERT_EQ(warm_status, cold_status) << "seed " << seed;
+    if (cold_status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective_value(), cold.objective_value(),
+                  1e-7 * (1.0 + std::abs(cold.objective_value())))
+          << "seed " << seed;
+    } else {
+      // The tightened box can make the LP infeasible; both paths must
+      // agree on that verdict, not just on objectives.
+      ASSERT_EQ(cold_status, SolveStatus::kInfeasible) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BasisRoundtripProperty, ForeignBasisOfCompatibleShapeNeverWrong) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed + 2'000'000);
+    const Dims dims = random_dims(rng);
+    // Two DIFFERENT LPs of identical shape (same vars/rows => same
+    // standard-form column count, so load_basis accepts the snapshot).
+    const Model donor_model = random_lp(dims.vars, dims.rows, seed * 31);
+    const Model target_model = random_lp(dims.vars, dims.rows, seed * 37 + 1);
+    const StandardForm donor_sf = StandardForm::build(donor_model);
+    const StandardForm target_sf = StandardForm::build(target_model);
+
+    SimplexEngine donor(donor_sf);
+    ASSERT_EQ(donor.solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    const Basis foreign = donor.snapshot_basis();
+
+    SimplexEngine cold(target_sf);
+    ASSERT_EQ(cold.solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    const double cold_obj = cold.objective_value();
+
+    SimplexEngine warm(target_sf);
+    warm.load_basis(foreign);
+    SolveStatus status = warm.solve({});
+    if (status != SolveStatus::kOptimal) {
+      // Graceful degradation: a foreign basis may be numerically hopeless
+      // (singular beyond repair); the engine must still recover through
+      // the same cold restart the branch & bound uses.
+      warm.reset_to_logical_basis();
+      status = warm.solve({});
+    }
+    ASSERT_EQ(status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(warm.objective_value(), cold_obj,
+                1e-7 * (1.0 + std::abs(cold_obj)))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gmm::lp

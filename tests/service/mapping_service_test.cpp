@@ -280,6 +280,57 @@ TEST(MappingService, DeadlineInterruptsInFlightSolve) {
   EXPECT_EQ(out.only("tight").status, ResponseStatus::kTimeout);
 }
 
+TEST(MappingService, StatsMethodReportsRequestAndSolverCounters) {
+  Collector out;
+  MappingService service({test_board()}, {.workers = 2}, out.sink());
+
+  // A fresh service reports zeros (and still answers synchronously).
+  Request stats_request;
+  stats_request.method = Method::kStats;
+  stats_request.id = "s0";
+  service.handle(stats_request);
+  {
+    const std::vector<Response> responses = out.snapshot();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].method, "stats");
+    EXPECT_EQ(responses[0].status, ResponseStatus::kOk);
+    ASSERT_TRUE(responses[0].has_stats);
+    EXPECT_EQ(responses[0].stats.accepted, 0);
+    EXPECT_EQ(responses[0].stats.solves, 0);
+    EXPECT_EQ(responses[0].stats.nodes, 0);
+  }
+
+  // Two solves plus one pre-expired deadline (never reaches the solver).
+  service.handle(map_request("a", quick_design_text()));
+  service.handle(map_request("b", quick_design_text()));
+  service.handle(map_request("late", quick_design_text(), 0.0));
+  service.drain();
+  EXPECT_EQ(out.only("a").status, ResponseStatus::kOk);
+  EXPECT_EQ(out.only("b").status, ResponseStatus::kOk);
+  EXPECT_EQ(out.only("late").status, ResponseStatus::kTimeout);
+
+  stats_request.id = "s1";
+  service.handle(stats_request);
+  const std::vector<Response> responses = out.snapshot();
+  const Response& stats = responses.back();
+  EXPECT_EQ(stats.id, "s1");
+  ASSERT_TRUE(stats.has_stats);
+  EXPECT_EQ(stats.stats.accepted, 3);
+  EXPECT_EQ(stats.stats.completed, 3);
+  EXPECT_EQ(stats.stats.timed_out, 1);
+  // Solver totals count only the requests that actually solved.
+  EXPECT_EQ(stats.stats.solves, 2);
+  EXPECT_GE(stats.stats.nodes, 2);
+  EXPECT_GT(stats.stats.lp_iterations, 0);
+  EXPECT_LE(stats.stats.basis.loaded + stats.stats.basis.evicted,
+            stats.stats.basis.stored);
+  // Matches the programmatic accessor the serve loop logs from.
+  const ServiceStats direct = service.stats();
+  EXPECT_EQ(direct.solves, stats.stats.solves);
+  EXPECT_EQ(direct.nodes, stats.stats.nodes);
+  EXPECT_EQ(direct.lp_iterations, stats.stats.lp_iterations);
+}
+
 TEST(MappingService, PingAndInvalidRespondSynchronously) {
   Collector out;
   MappingService service({test_board()}, {.workers = 1}, out.sink());

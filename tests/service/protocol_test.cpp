@@ -65,6 +65,63 @@ TEST(Protocol, ParsesControlMethods) {
   EXPECT_EQ(parse_request_line("{}").method, Method::kInvalid);
 }
 
+TEST(Protocol, ParsesStatsRequest) {
+  const Request stats =
+      parse_request_line(R"({"id":"s1","method":"stats"})");
+  ASSERT_EQ(stats.method, Method::kStats);
+  EXPECT_EQ(stats.id, "s1");
+  // Like ping, the id is optional (the response is synchronous anyway).
+  EXPECT_EQ(parse_request_line(R"({"method":"stats"})").method,
+            Method::kStats);
+}
+
+TEST(Protocol, StatsResponseRoundTrips) {
+  Response r;
+  r.id = "s1";
+  r.method = "stats";
+  r.status = ResponseStatus::kOk;
+  r.has_stats = true;
+  r.stats.accepted = 9;
+  r.stats.rejected = 2;
+  r.stats.completed = 8;
+  r.stats.cancelled = 1;
+  r.stats.timed_out = 3;
+  r.stats.solves = 7;
+  r.stats.nodes = 1234;
+  r.stats.lp_iterations = 56789;
+  r.stats.basis.stored = 400;
+  r.stats.basis.loaded = 350;
+  r.stats.basis.evicted = 25;
+  r.stats.basis.cold_pops = 60;
+  r.stats.basis.warm_pop_pivots = 700;
+  r.stats.basis.cold_pop_pivots = 5000;
+
+  const JsonParseResult parsed = parse_json(r.to_line());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Response back;
+  ASSERT_TRUE(Response::from_json(parsed.value, back));
+  EXPECT_EQ(back.method, "stats");
+  EXPECT_EQ(back.status, ResponseStatus::kOk);
+  ASSERT_TRUE(back.has_stats);
+  EXPECT_FALSE(back.has_result);
+  EXPECT_EQ(back.stats.accepted, 9);
+  EXPECT_EQ(back.stats.rejected, 2);
+  EXPECT_EQ(back.stats.completed, 8);
+  EXPECT_EQ(back.stats.cancelled, 1);
+  EXPECT_EQ(back.stats.timed_out, 3);
+  EXPECT_EQ(back.stats.solves, 7);
+  EXPECT_EQ(back.stats.nodes, 1234);
+  EXPECT_EQ(back.stats.lp_iterations, 56789);
+  EXPECT_EQ(back.stats.basis.stored, 400);
+  EXPECT_EQ(back.stats.basis.loaded, 350);
+  EXPECT_EQ(back.stats.basis.evicted, 25);
+  EXPECT_EQ(back.stats.basis.cold_pops, 60);
+  EXPECT_EQ(back.stats.basis.warm_pop_pivots, 700);
+  EXPECT_EQ(back.stats.basis.cold_pop_pivots, 5000);
+  // The wire also carries the derived hit rate for humans/dashboards.
+  EXPECT_NE(r.to_line().find("\"basis_hit_rate\""), std::string::npos);
+}
+
 TEST(Protocol, ResponseRoundTrips) {
   Response r;
   r.id = "r1";
