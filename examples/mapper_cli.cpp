@@ -5,6 +5,10 @@
 // Options:
 //   --complete     solve the flat (complete) formulation instead of the
 //                  global/detailed pipeline (single-design mode only)
+//   --devices N    split a single-device board round-robin across N
+//                  identical FPGAs and map with the sharded mapper
+//                  (single-design mode only); boards whose files already
+//                  declare devices shard automatically
 //   --csv          machine-readable placement dump instead of tables
 //   --map          append the per-instance memory-map report
 //   --threads N    branch & bound workers per solve (default 1; 0 = all
@@ -19,6 +23,9 @@
 // placements and solve statistics.  Batch mode parses the board once and
 // shares it read-only across every concurrent pipeline — the serving
 // pattern for many mapping requests against one device catalog.
+// Multi-device boards route through mapping::map_sharded (partition ->
+// per-device ILP fan-out -> stitch ILP) and report the per-structure
+// device placement plus the stitch transfer cost.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +39,7 @@
 #include "mapping/batch_mapper.hpp"
 #include "mapping/complete_mapper.hpp"
 #include "mapping/pipeline.hpp"
+#include "mapping/shard_mapper.hpp"
 #include "mapping/validate.hpp"
 #include "report/placement_report.hpp"
 #include "report/text_table.hpp"
@@ -42,8 +50,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <board-file> <design-file>... [--complete] [--csv] "
-               "[--map] [--threads N] [--jobs N]\n",
+               "usage: %s <board-file> <design-file>... [--complete] "
+               "[--devices N] [--csv] [--map] [--threads N] [--jobs N]\n",
                argv0);
   return 2;
 }
@@ -63,12 +71,13 @@ struct ParsedDesign {
 };
 
 int report_single(const gmm::arch::Board& board,
-                  const gmm::design::Design& design, bool use_complete,
+                  const gmm::design::Design& design, const char* label,
                   bool csv, bool memory_map,
                   const gmm::mapping::GlobalAssignment& assignment,
                   const gmm::mapping::DetailedMapping& detailed,
                   const gmm::mapping::SolveEffort& effort,
-                  gmm::lp::SolveStatus status) {
+                  gmm::lp::SolveStatus status,
+                  const std::vector<int>* device_of = nullptr) {
   using namespace gmm;
   if (status != lp::SolveStatus::kOptimal &&
       status != lp::SolveStatus::kFeasible) {
@@ -105,21 +114,29 @@ int report_single(const gmm::arch::Board& board,
   }
 
   std::printf("%s mapping of '%s' onto '%s': %s, objective %.0f (%.3fs)\n\n",
-              use_complete ? "complete" : "global/detailed",
-              design.name().c_str(), board.name().c_str(),
+              label, design.name().c_str(), board.name().c_str(),
               lp::to_string(status), assignment.objective,
               effort.total_seconds());
-  report::TextTable table({"Structure", "Depth x Width", "Bank type",
-                           "Fragments"});
+  std::vector<std::string> headers = {"Structure", "Depth x Width",
+                                      "Bank type", "Fragments"};
+  if (device_of != nullptr) headers.insert(headers.begin() + 2, "Device");
+  report::TextTable table(headers);
   table.set_alignment(0, report::Align::kLeft);
   table.set_alignment(2, report::Align::kLeft);
+  if (device_of != nullptr) table.set_alignment(3, report::Align::kLeft);
   for (std::size_t d = 0; d < design.size(); ++d) {
     const design::DataStructure& ds = design.at(d);
-    table.add_row({ds.name,
-                   std::to_string(ds.depth) + "x" + std::to_string(ds.width),
-                   board.type(static_cast<std::size_t>(assignment.type_of[d]))
-                       .name,
-                   std::to_string(detailed.fragment_count(d))});
+    std::vector<std::string> row = {
+        ds.name, std::to_string(ds.depth) + "x" + std::to_string(ds.width),
+        board.type(static_cast<std::size_t>(assignment.type_of[d])).name,
+        std::to_string(detailed.fragment_count(d))};
+    if (device_of != nullptr) {
+      const int dev = (*device_of)[d];
+      row.insert(row.begin() + 2,
+                 dev < 0 ? "-"
+                         : board.device(static_cast<std::size_t>(dev)).name);
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   if (memory_map) {
@@ -138,11 +155,16 @@ int main(int argc, char** argv) {
   bool memory_map = false;
   int threads = 1;
   int jobs = 0;  // 0 = auto (one per design, capped at hardware)
+  int devices = 0;  // 0 = as declared in the board file
   bool jobs_given = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--complete") == 0) {
       use_complete = true;
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], devices) || devices < 1) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--map") == 0) {
@@ -165,10 +187,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open board file %s\n", positional[0]);
     return 1;
   }
-  const arch::BoardParseResult board = arch::parse_board(board_file);
-  if (!board.ok) {
-    std::fprintf(stderr, "%s: %s\n", positional[0], board.error.c_str());
+  arch::BoardParseResult parsed_board = arch::parse_board(board_file);
+  if (!parsed_board.ok) {
+    std::fprintf(stderr, "%s: %s\n", positional[0],
+                 parsed_board.error.c_str());
     return 1;
+  }
+  arch::Board board = std::move(parsed_board.board);
+  if (devices > 1) {
+    if (board.has_explicit_devices()) {
+      std::fprintf(stderr,
+                   "--devices only applies to single-device board files "
+                   "(%s already declares devices)\n",
+                   positional[0]);
+      return 1;
+    }
+    board = arch::split_across_devices(board, devices);
   }
 
   std::vector<ParsedDesign> designs;
@@ -192,24 +226,55 @@ int main(int argc, char** argv) {
   // ---- single-design mode ----------------------------------------------
   if (designs.size() == 1 && !jobs_given) {
     const design::Design& design = designs[0].design;
+    if (board.multi_device()) {
+      if (use_complete) {
+        std::fprintf(stderr,
+                     "--complete is a single-device option; multi-device "
+                     "boards use the sharded mapper\n");
+        return usage(argv[0]);
+      }
+      mapping::ShardOptions shard_options;
+      shard_options.pipeline = pipeline_options;
+      const mapping::ShardResult r =
+          mapping::map_sharded(design, board, shard_options);
+      if (!csv &&
+          (r.status == lp::SolveStatus::kOptimal ||
+           r.status == lp::SolveStatus::kFeasible)) {
+        std::printf("sharded over %d devices: %d shards, stitch cost %.0f, "
+                    "%lld cut edges, %d repair rounds\n",
+                    r.stats.devices, r.stats.shards, r.stats.stitch_cost,
+                    static_cast<long long>(r.stats.cut_edges),
+                    r.stats.repair_rounds);
+      }
+      return report_single(board, design, "sharded", csv, memory_map,
+                           r.assignment, r.detailed, r.effort, r.status,
+                           &r.device_of);
+    }
     if (use_complete) {
-      const mapping::CostTable table(design, board.board);
+      const mapping::CostTable table(design, board);
       mapping::CompleteOptions complete_options;
       complete_options.mip.num_threads = threads;
       const mapping::CompleteResult r =
-          mapping::map_complete(design, board.board, table, complete_options);
-      return report_single(board.board, design, true, csv, memory_map,
+          mapping::map_complete(design, board, table, complete_options);
+      return report_single(board, design, "complete", csv, memory_map,
                            r.assignment, r.detailed, r.effort, r.status);
     }
     const mapping::PipelineResult r =
-        mapping::map_pipeline(design, board.board, pipeline_options);
-    return report_single(board.board, design, false, csv, memory_map,
+        mapping::map_pipeline(design, board, pipeline_options);
+    return report_single(board, design, "global/detailed", csv, memory_map,
                          r.assignment, r.detailed, r.effort, r.status);
   }
 
   // ---- batch mode ------------------------------------------------------
   if (use_complete) {
     std::fprintf(stderr, "--complete is a single-design option\n");
+    return usage(argv[0]);
+  }
+  if (board.multi_device()) {
+    std::fprintf(stderr,
+                 "batch mode maps each design with the single-device "
+                 "pipeline; multi-device boards (--devices) are a "
+                 "single-design option\n");
     return usage(argv[0]);
   }
   if (jobs <= 0) {
@@ -221,7 +286,7 @@ int main(int argc, char** argv) {
   std::vector<mapping::BatchItem> items;
   items.reserve(designs.size());
   for (const ParsedDesign& d : designs) {
-    items.push_back({.design = &d.design, .board = &board.board});
+    items.push_back({.design = &d.design, .board = &board});
   }
   const mapping::BatchResult batch = mapping::map_batch(
       items, pipeline_options, static_cast<std::size_t>(jobs));

@@ -5,11 +5,16 @@
 #
 # Pipes a small conversation into mapper_serve: a liveness ping, two
 # mapping requests against the bundled XCV300 board (one by server-side
-# file path, one inline), a deliberately impossible 0 ms deadline that
-# comes back as status "timeout", a stats request (request accounting +
-# aggregate solver counters; answered synchronously, so its tally races
-# the still-in-flight solves and may print before them), and a graceful
+# file path, one inline), a sharded mapping against the dual-FPGA board,
+# a deliberately impossible 0 ms deadline that comes back as status
+# "timeout", a stats request (request accounting + aggregate solver
+# counters; answered synchronously, so its tally races the
+# still-in-flight solves and may print before them), and a graceful
 # shutdown.  Responses stream to stdout one JSON object per line.
+#
+# The script FAILS (exit 1) when any response carries "status":"error"
+# or when no response arrives at all — so CI smoke runs catch a broken
+# serve path instead of rubber-stamping whatever the server printed.
 set -eu
 
 SERVE="${1:-./build/mapper_serve}"
@@ -20,11 +25,24 @@ if [ ! -x "$SERVE" ]; then
   exit 1
 fi
 
-"$SERVE" "$DATA/board_xcv300.txt" <<EOF
+OUT="$("$SERVE" "$DATA/board_xcv300.txt" "$DATA/board_dual_fpga.txt" <<EOF
 {"id":"ping-1","method":"ping"}
 {"id":"filter","method":"map","design_path":"$DATA/design_filter.txt"}
 {"id":"inline","method":"map","design_text":"design tiny\nsegment coeffs depth 64 width 8\nsegment window depth 128 width 8\nconflicts all\n"}
+{"id":"sharded","method":"map","board":"board.dual","formulation":"sharded","design_path":"$DATA/design_fft.txt"}
 {"id":"hopeless","method":"map","design_path":"$DATA/design_fft.txt","deadline_ms":0}
 {"id":"tally","method":"stats"}
 {"method":"shutdown"}
 EOF
+)"
+
+printf '%s\n' "$OUT"
+
+if [ -z "$OUT" ]; then
+  echo "serve_demo: no responses from $SERVE" >&2
+  exit 1
+fi
+if printf '%s\n' "$OUT" | grep -q '"status":"error"'; then
+  echo "serve_demo: a response carried \"status\":\"error\" (see above)" >&2
+  exit 1
+fi

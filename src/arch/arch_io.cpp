@@ -44,6 +44,25 @@ BoardParseResult parse_board(std::istream& in) {
     if (keyword == "board") {
       if (tokens.size() != 2) return fail(line_no, "board expects a name");
       result.board.set_name(tokens[1]);
+    } else if (keyword == "device") {
+      if (in_type) return fail(line_no, "device inside banktype");
+      if (result.board.num_types() > 0 &&
+          !result.board.has_explicit_devices()) {
+        return fail(line_no, "device directives must precede bank types");
+      }
+      if (tokens.size() != 2 && tokens.size() != 4) {
+        return fail(line_no, "device expects: name [pins <P>]");
+      }
+      BoardDevice device;
+      device.name = tokens[1];
+      if (tokens.size() == 4) {
+        if (tokens[2] != "pins" ||
+            !parse_int(tokens[3], device.inter_device_pins) ||
+            device.inter_device_pins < 0) {
+          return fail(line_no, "device expects: name [pins <P>]");
+        }
+      }
+      result.board.add_device(std::move(device));
     } else if (keyword == "banktype") {
       if (in_type) return fail(line_no, "nested banktype (missing 'end'?)");
       if (tokens.size() != 12) {
@@ -102,19 +121,40 @@ BoardParseResult parse_board_string(const std::string& text) {
   return parse_board(in);
 }
 
+namespace {
+
+void write_bank_type(std::ostream& out, const BankType& t) {
+  out << "banktype " << t.name << " instances " << t.instances << " ports "
+      << t.ports << " rl " << t.read_latency << " wl " << t.write_latency
+      << " pins " << t.pins_traversed << "\n";
+  for (const BankConfig& c : t.configs) {
+    out << "config " << c.depth << " " << c.width << "\n";
+  }
+  out << "end\n";
+}
+
+}  // namespace
+
 void write_board(std::ostream& out, const Board& board) {
   // A nameless board writes no 'board' line at all (parse leaves the name
   // empty), so write -> parse round-trips exactly; the old "unnamed"
   // placeholder silently renamed such boards on the way through.
   if (!board.name().empty()) out << "board " << board.name() << "\n";
-  for (const BankType& t : board.types()) {
-    out << "banktype " << t.name << " instances " << t.instances << " ports "
-        << t.ports << " rl " << t.read_latency << " wl " << t.write_latency
-        << " pins " << t.pins_traversed << "\n";
-    for (const BankConfig& c : t.configs) {
-      out << "config " << c.depth << " " << c.width << "\n";
+  if (!board.has_explicit_devices()) {
+    // Single implicit device: the pre-device format, byte for byte.
+    for (const BankType& t : board.types()) write_bank_type(out, t);
+    return;
+  }
+  for (std::size_t k = 0; k < board.num_devices(); ++k) {
+    const BoardDevice device = board.device(k);
+    out << "device " << device.name;
+    if (device.inter_device_pins > 0) {
+      out << " pins " << device.inter_device_pins;
     }
-    out << "end\n";
+    out << "\n";
+    for (const std::size_t t : board.device_type_indices(k)) {
+      write_bank_type(out, board.type(t));
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 // Format (one directive per line, '#' comments):
 //
 //   board <name>
+//   device <name> [pins <P>]      # starts a device (multi-FPGA boards);
+//                                 # subsequent banktypes belong to it
 //   banktype <name> instances <I> ports <P> rl <RL> wl <WL> pins <T>
 //   config <depth> <width>        # one per configuration, after banktype
 //   end                           # closes the current banktype
@@ -13,6 +15,12 @@
 //   config 4096 1
 //   config 256 16
 //   end
+//
+// Single-device boards need no `device` directive (and write none back):
+// their bank types live on one implicit device, exactly as before devices
+// existed.  When `device` is used it must precede every banktype, and a
+// device's `pins` is the count a transfer crosses between that device and
+// the board-level interconnect (see arch::BoardDevice).
 #pragma once
 
 #include <iosfwd>

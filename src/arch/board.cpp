@@ -4,10 +4,57 @@
 
 namespace gmm::arch {
 
+std::size_t Board::add_device(BoardDevice device) {
+  GMM_ASSERT(types_.empty() || !devices_.empty(),
+             "devices must be declared before bank types");
+  devices_.push_back(std::move(device));
+  return devices_.size() - 1;
+}
+
 void Board::add_bank_type(BankType type) {
   const std::string problem = type.validate();
   GMM_ASSERT(problem.empty(), problem.c_str());
   types_.push_back(std::move(type));
+  device_of_.push_back(devices_.empty() ? 0 : devices_.size() - 1);
+}
+
+BoardDevice Board::device(std::size_t k) const {
+  GMM_ASSERT(k < num_devices(), "device index out of range");
+  return devices_.empty() ? BoardDevice{} : devices_[k];
+}
+
+std::vector<std::size_t> Board::device_type_indices(std::size_t k) const {
+  GMM_ASSERT(k < num_devices(), "device index out of range");
+  std::vector<std::size_t> indices;
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    if (device_of_type(t) == k) indices.push_back(t);
+  }
+  return indices;
+}
+
+std::int64_t Board::device_banks(std::size_t k) const {
+  std::int64_t total = 0;
+  for (const std::size_t t : device_type_indices(k)) {
+    total += types_[t].instances;
+  }
+  return total;
+}
+
+std::int64_t Board::device_bits(std::size_t k) const {
+  std::int64_t total = 0;
+  for (const std::size_t t : device_type_indices(k)) {
+    total += types_[t].total_bits();
+  }
+  return total;
+}
+
+Board Board::device_view(std::size_t k) const {
+  const BoardDevice dev = device(k);
+  Board view(dev.name.empty() ? name_ : name_ + ":" + dev.name);
+  for (const std::size_t t : device_type_indices(k)) {
+    view.add_bank_type(types_[t]);
+  }
+  return view;
 }
 
 std::int64_t Board::total_banks() const {
@@ -34,6 +81,31 @@ std::int64_t Board::total_bits() const {
   std::int64_t total = 0;
   for (const BankType& t : types_) total += t.total_bits();
   return total;
+}
+
+Board split_across_devices(const Board& board, int num_devices,
+                           std::int64_t inter_device_pins) {
+  GMM_ASSERT(num_devices >= 1, "split_across_devices needs >= 1 device");
+  GMM_ASSERT(!board.has_explicit_devices(),
+             "split_across_devices expects a single-device board");
+  Board split(board.name());
+  const auto devices = static_cast<std::int64_t>(num_devices);
+  for (std::int64_t k = 0; k < devices; ++k) {
+    const std::string device_name = "fpga" + std::to_string(k);
+    split.add_device(
+        {.name = device_name, .inter_device_pins = inter_device_pins});
+    for (const BankType& type : board.types()) {
+      BankType share = type;
+      // Device-qualified type names keep flat outputs (CSV dumps, service
+      // placements) unambiguous: without the prefix, two devices' shares
+      // of one type would both print "<type>, instance 0".
+      share.name = device_name + "." + type.name;
+      share.instances = type.instances / devices +
+                        (k < type.instances % devices ? 1 : 0);
+      if (share.instances > 0) split.add_bank_type(std::move(share));
+    }
+  }
+  return split;
 }
 
 }  // namespace gmm::arch

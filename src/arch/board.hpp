@@ -1,11 +1,23 @@
-// Reconfigurable board: a named collection of bank types.
+// Reconfigurable board: a named collection of bank types, optionally
+// grouped into several DEVICES (FPGAs) for multi-device boards.
 //
 // The paper's Table 3 characterizes boards by three complexity totals,
 // reproduced here as methods: total physical banks, total ports summed
 // over all instances, and total configuration settings summed over all
 // multi-configuration ports.
+//
+// Devices: the paper's board has a single FPGA, and single-device boards
+// keep working untouched — a Board with no explicit devices behaves as
+// one implicit device holding every bank type.  Multi-FPGA boards declare
+// devices up front (add_device / the `device` directive of arch_io) and
+// every subsequently added bank type belongs to the most recent device.
+// A cross-device transfer traverses both endpoints' `inter_device_pins`
+// (0 = the device sits directly on the shared interconnect), which is
+// what the shard mapper's stitch objective charges for cut conflict
+// edges.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -13,12 +25,30 @@
 
 namespace gmm::arch {
 
+/// One FPGA (or other reconfigurable fabric) of a multi-device board.
+struct BoardDevice {
+  std::string name;
+  /// Pins a transfer crosses between this device and the board-level
+  /// interconnect; an inter-device transfer pays both endpoints' counts.
+  std::int64_t inter_device_pins = 0;
+
+  friend bool operator==(const BoardDevice&, const BoardDevice&) = default;
+};
+
 class Board {
  public:
   Board() = default;
   explicit Board(std::string name) : name_(std::move(name)) {}
 
+  /// Declare a device; returns its index.  Subsequent add_bank_type calls
+  /// attach their type to this device.  Devices must be declared before
+  /// any bank type is added (a board is either implicit-single-device or
+  /// fully device-grouped, never a mix); aborts otherwise.
+  std::size_t add_device(BoardDevice device);
+
   /// Add a bank type; aborts on invalid types (see BankType::validate).
+  /// The type belongs to the most recently declared device (or the
+  /// implicit device 0 when none was declared).
   void add_bank_type(BankType type);
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -27,6 +57,37 @@ class Board {
   [[nodiscard]] std::size_t num_types() const { return types_.size(); }
   [[nodiscard]] const BankType& type(std::size_t t) const { return types_[t]; }
   [[nodiscard]] const std::vector<BankType>& types() const { return types_; }
+
+  // ---- devices -----------------------------------------------------------
+
+  /// Number of devices; 1 for boards without explicit devices.
+  [[nodiscard]] std::size_t num_devices() const {
+    return devices_.empty() ? 1 : devices_.size();
+  }
+  /// True when devices were explicitly declared (even just one).
+  [[nodiscard]] bool has_explicit_devices() const {
+    return !devices_.empty();
+  }
+  [[nodiscard]] bool multi_device() const { return devices_.size() > 1; }
+  /// Device k's descriptor (the implicit device is default-constructed).
+  [[nodiscard]] BoardDevice device(std::size_t k) const;
+  /// Device owning bank type t (always 0 on implicit boards).
+  [[nodiscard]] std::size_t device_of_type(std::size_t t) const {
+    return devices_.empty() ? 0 : device_of_[t];
+  }
+  /// Flat type indices belonging to device k, in add order.
+  [[nodiscard]] std::vector<std::size_t> device_type_indices(
+      std::size_t k) const;
+  /// Physical banks on device k.
+  [[nodiscard]] std::int64_t device_banks(std::size_t k) const;
+  /// Storage capacity of device k in bits.
+  [[nodiscard]] std::int64_t device_bits(std::size_t k) const;
+  /// Device k as a standalone single-device board (named
+  /// "<board>:<device>"); pair with device_type_indices(k) to map the
+  /// view's type indices back to this board's flat indices.
+  [[nodiscard]] Board device_view(std::size_t k) const;
+
+  // ---- complexity totals -------------------------------------------------
 
   /// Total number of physical banks (Table 3 column "#banks").
   [[nodiscard]] std::int64_t total_banks() const;
@@ -41,6 +102,21 @@ class Board {
  private:
   std::string name_;
   std::vector<BankType> types_;
+  std::vector<BoardDevice> devices_;     // empty = one implicit device
+  std::vector<std::size_t> device_of_;   // parallel to types_
 };
+
+/// Spread a single-device board's bank instances round-robin across
+/// `num_devices` identical devices ("fpga0".."fpgaN-1", each
+/// `inter_device_pins` from the interconnect): device k receives
+/// floor(I/N) instances of every type plus one of the remainder, and
+/// types that end up with zero instances on a device are omitted there —
+/// so total banks, ports and bits are preserved exactly.  Type names are
+/// device-qualified ("fpga0.<type>") so flat outputs stay unambiguous.
+/// The workhorse behind `mapper_cli --devices N` and the 1/2/4-device
+/// bench sweeps.  Aborts when `board` already has explicit devices or
+/// num_devices < 1.
+Board split_across_devices(const Board& board, int num_devices,
+                           std::int64_t inter_device_pins = 2);
 
 }  // namespace gmm::arch

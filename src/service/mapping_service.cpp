@@ -8,6 +8,7 @@
 #include "design/design_io.hpp"
 #include "mapping/complete_mapper.hpp"
 #include "mapping/pipeline.hpp"
+#include "mapping/shard_mapper.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
@@ -235,14 +236,46 @@ void MappingService::run_map(const std::string& id, const MapRequest& request,
       request.threads <= 0 ? options_.max_threads_per_solve : request.threads,
       options_.max_threads_per_solve);
 
-  // Either formulation lands in the same (status, assignment, detailed,
-  // effort, mip) shape; only the retry counter is pipeline-specific.
+  // Every formulation lands in the same (status, assignment, detailed,
+  // effort, mip) shape; retries and the shard counters are specific to
+  // the pipeline/sharded paths.
   lp::SolveStatus status = SolveStatus::kNumericalFailure;
   mapping::GlobalAssignment assignment;
   mapping::DetailedMapping detailed;
-  mapping::SolveEffort effort;
+  mapping::SolveEffort effort;        // behind the returned mapping
+  mapping::SolveEffort total_effort;  // all work executed (= effort
+                                      // except for sharded fan-outs)
   ilp::MipResult mip_result;
-  if (request.complete) {
+  mapping::ShardStats shard_stats;
+  if (request.sharded) {
+    mapping::ShardOptions options;
+    options.pipeline.global.mip = mip;
+    // The operator's per-solve parallelism budget covers the whole
+    // sharded solve: fan-out workers x per-candidate B&B threads stays
+    // within max_threads_per_solve instead of each request spinning up
+    // a hardware-concurrency pool of its own — and never more workers
+    // than there are candidate solves to run.
+    std::size_t usable = 0;
+    for (std::size_t k = 0; k < board->num_devices(); ++k) {
+      if (board->device_banks(k) > 0) ++usable;
+    }
+    const auto budget = static_cast<std::size_t>(
+        std::max(1, options_.max_threads_per_solve /
+                        std::max(1, mip.num_threads)));
+    options.num_workers =
+        std::max<std::size_t>(std::min(budget, usable * usable), 1);
+    mapping::ShardResult result =
+        mapping::map_sharded(design, *board, options);
+    status = result.status;
+    assignment = std::move(result.assignment);
+    detailed = std::move(result.detailed);
+    effort = result.effort;
+    total_effort = result.total_effort;
+    shard_stats = result.stats;
+    response.retries = result.retries;
+    response.shards = result.stats.shards;
+    response.stitch_cost = result.stats.stitch_cost;
+  } else if (request.complete) {
     const mapping::CostTable table(design, *board);
     mapping::CompleteOptions options;
     options.mip = mip;
@@ -252,6 +285,7 @@ void MappingService::run_map(const std::string& id, const MapRequest& request,
     assignment = std::move(result.assignment);
     detailed = std::move(result.detailed);
     effort = result.effort;
+    total_effort = effort;
     mip_result = std::move(result.mip);
   } else {
     mapping::PipelineOptions options;
@@ -262,19 +296,27 @@ void MappingService::run_map(const std::string& id, const MapRequest& request,
     assignment = std::move(result.assignment);
     detailed = std::move(result.detailed);
     effort = result.effort;
+    total_effort = effort;
     mip_result = std::move(result.mip);
     response.retries = result.retries;
   }
 
   // Fold this solve's effort into the aggregate counters the `stats`
-  // method reports.  `effort` is cumulative over the pipeline's retries,
-  // so one request counts every global solve it triggered.
+  // method reports.  `total_effort` counts every solve the request
+  // triggered — pipeline retries, and for sharded requests the whole
+  // candidate fan-out including solves the stitch discarded — while the
+  // response's own nodes/seconds fields (below) report only the work
+  // behind the returned mapping.
   {
     const std::scoped_lock lock(mutex_);
     ++stats_.solves;
-    stats_.nodes += effort.bnb_nodes;
-    stats_.lp_iterations += effort.lp_iterations;
-    stats_.basis += effort.basis;
+    stats_.nodes += total_effort.bnb_nodes;
+    stats_.lp_iterations += total_effort.lp_iterations;
+    stats_.basis += total_effort.basis;
+    if (request.sharded) {
+      ++stats_.sharded_requests;
+      stats_.shard_solves += shard_stats.candidate_solves;
+    }
   }
 
   response.status = classify(status, mip_result);

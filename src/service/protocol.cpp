@@ -59,8 +59,11 @@ Request parse_request_line(const std::string& line) {
         object.get_string("formulation", "global");
     if (formulation == "complete") {
       request.map.complete = true;
+    } else if (formulation == "sharded") {
+      request.map.sharded = true;
     } else if (formulation != "global") {
-      request.error = "'formulation' must be 'global' or 'complete'";
+      request.error =
+          "'formulation' must be 'global', 'complete' or 'sharded'";
       return request;
     }
     // 1024 matches mapper_cli's thread-count sanity bound.
@@ -133,6 +136,10 @@ Json Response::to_json() const {
     object["nodes"] = nodes;
     object["seconds"] = seconds;
     object["retries"] = retries;
+    if (shards > 0) {
+      object["shards"] = static_cast<std::int64_t>(shards);
+      object["stitch_cost"] = stitch_cost;
+    }
     JsonArray rows;
     rows.reserve(placements.size());
     for (const PlacementEntry& p : placements) {
@@ -160,6 +167,8 @@ Json Response::to_json() const {
     solver["solves"] = stats.solves;
     solver["nodes"] = stats.nodes;
     solver["lp_iterations"] = stats.lp_iterations;
+    solver["sharded_requests"] = stats.sharded_requests;
+    solver["shard_solves"] = stats.shard_solves;
     solver["bases_stored"] = stats.basis.stored;
     solver["bases_loaded"] = stats.basis.loaded;
     solver["bases_evicted"] = stats.basis.evicted;
@@ -204,6 +213,8 @@ bool Response::from_json(const Json& value, Response& out) {
     out.nodes = static_cast<std::int64_t>(value.get_number("nodes", 0.0));
     out.seconds = value.get_number("seconds", 0.0);
     out.retries = static_cast<int>(value.get_number("retries", 0.0));
+    out.shards = static_cast<int>(value.get_number("shards", 0.0));
+    out.stitch_cost = value.get_number("stitch_cost", 0.0);
     const Json* rows = value.find("placements");
     if (rows != nullptr && rows->is_array()) {
       for (const Json& row : rows->as_array()) {
@@ -244,6 +255,8 @@ bool Response::from_json(const Json& value, Response& out) {
       out.stats.solves = scount("solves");
       out.stats.nodes = scount("nodes");
       out.stats.lp_iterations = scount("lp_iterations");
+      out.stats.sharded_requests = scount("sharded_requests");
+      out.stats.shard_solves = scount("shard_solves");
       out.stats.basis.stored = scount("bases_stored");
       out.stats.basis.loaded = scount("bases_loaded");
       out.stats.basis.evicted = scount("bases_evicted");

@@ -6,8 +6,10 @@
 //             "board_text" (inline board, overrides "board"),
 //             "design_text" | "design_path" (exactly one required),
 //             "formulation" ("global" — the paper's global/detailed
-//             pipeline, default — or "complete", the flat one-ILP
-//             baseline; far slower on big boards),
+//             pipeline, default — "complete", the flat one-ILP
+//             baseline; far slower on big boards — or "sharded", the
+//             multi-device partition/fan-out/stitch mapper; on
+//             single-device boards it degenerates to "global"),
 //             "threads" (B&B workers per solve, default 1; 0 = the
 //             server's per-solve cap, see --threads),
 //             "deadline_ms" (request deadline incl. queue wait; absent =
@@ -26,11 +28,15 @@
 //                   "offset_bits":0,"block_bits":4096,"kind":"full"}, ...]}
 //   status is one of: ok | timeout | cancelled | infeasible | rejected |
 //   error.  timeout / cancelled responses still carry the best-effort
-//   partial result when the stopped solve had an incumbent.
+//   partial result when the stopped solve had an incumbent.  A "sharded"
+//   map additionally reports "shards" (per-device sub-mappings stitched
+//   together) and "stitch_cost" (the weighted inter-device transfer term
+//   included in "objective").
 //
 //   {"id":"s1","method":"stats","status":"ok","accepted":3,"rejected":0,
 //    "completed":3,"cancelled":0,"timed_out":1,
 //    "solver":{"solves":3,"nodes":120,"lp_iterations":987,
+//              "sharded_requests":1,"shard_solves":4,
 //              "bases_stored":64,"bases_loaded":60,"bases_evicted":0,
 //              "cold_pops":4,"warm_pop_pivots":95,"cold_pop_pivots":310,
 //              "basis_hit_rate":0.9375}}
@@ -79,6 +85,10 @@ struct ServiceStats {
   std::int64_t solves = 0;
   std::int64_t nodes = 0;          // branch & bound nodes
   std::int64_t lp_iterations = 0;  // dual-simplex pivots
+  // Multi-device sharding: "sharded"-formulation requests solved, and
+  // the per-device candidate pipelines they fanned out in total.
+  std::int64_t sharded_requests = 0;
+  std::int64_t shard_solves = 0;
   lp::BasisCacheStats basis;       // warm-start cache counters
 };
 
@@ -90,6 +100,7 @@ struct MapRequest {
   std::string design_text;  // inline design description
   std::string design_path;  // or a file path the server reads
   bool complete = false;    // solve the flat "complete" formulation
+  bool sharded = false;     // multi-device partition/fan-out/stitch mapper
   int threads = 1;          // B&B workers for this solve (0 = server cap)
   double deadline_ms = -1.0;  // < 0 = no deadline
 };
@@ -153,6 +164,11 @@ struct Response {
   std::int64_t nodes = 0;
   double seconds = 0.0;
   int retries = 0;
+  // Sharded-formulation extras (serialized only when shards > 0): number
+  // of per-device sub-mappings stitched, and the inter-device transfer
+  // cost already included in `objective`.
+  int shards = 0;
+  double stitch_cost = 0.0;
   std::vector<PlacementEntry> placements;
 
   // Stats payload (has_stats == true on a `stats` response).

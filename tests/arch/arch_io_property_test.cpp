@@ -48,9 +48,27 @@ Board random_board(support::Rng& rng) {
   Board board(rng.bernoulli(0.1)
                   ? ""
                   : "board_" + std::to_string(rng.uniform_int(0, 9999)));
-  const std::int64_t types = rng.uniform_int(0, 5);
-  for (std::int64_t i = 0; i < types; ++i) {
-    board.add_bank_type(random_bank_type(rng, static_cast<int>(i)));
+  // A third of the boards are explicit multi-device boards: every bank
+  // type then belongs to the most recently declared device, and devices
+  // with zero bank types must survive the trip as well.
+  const bool with_devices = rng.bernoulli(0.33);
+  const std::int64_t devices = with_devices ? rng.uniform_int(1, 4) : 0;
+  int ordinal = 0;
+  for (std::int64_t k = 0; k < devices; ++k) {
+    BoardDevice device;
+    device.name = "dev" + std::to_string(k);
+    device.inter_device_pins = rng.bernoulli(0.5) ? 0 : rng.uniform_int(1, 8);
+    board.add_device(device);
+    const std::int64_t types = rng.uniform_int(0, 3);
+    for (std::int64_t i = 0; i < types; ++i) {
+      board.add_bank_type(random_bank_type(rng, ordinal++));
+    }
+  }
+  if (!with_devices) {
+    const std::int64_t types = rng.uniform_int(0, 5);
+    for (std::int64_t i = 0; i < types; ++i) {
+      board.add_bank_type(random_bank_type(rng, ordinal++));
+    }
   }
   return board;
 }
@@ -58,10 +76,17 @@ Board random_board(support::Rng& rng) {
 void expect_boards_equal(const Board& a, const Board& b,
                          std::uint64_t seed) {
   EXPECT_EQ(a.name(), b.name()) << "seed " << seed;
+  ASSERT_EQ(a.num_devices(), b.num_devices()) << "seed " << seed;
+  EXPECT_EQ(a.has_explicit_devices(), b.has_explicit_devices())
+      << "seed " << seed;
+  for (std::size_t k = 0; k < a.num_devices(); ++k) {
+    EXPECT_EQ(a.device(k), b.device(k)) << "seed " << seed << " device " << k;
+  }
   ASSERT_EQ(a.num_types(), b.num_types()) << "seed " << seed;
   for (std::size_t t = 0; t < a.num_types(); ++t) {
     const BankType& x = a.type(t);
     const BankType& y = b.type(t);
+    EXPECT_EQ(a.device_of_type(t), b.device_of_type(t)) << "seed " << seed;
     EXPECT_EQ(x.name, y.name) << "seed " << seed;
     EXPECT_EQ(x.instances, y.instances) << "seed " << seed;
     EXPECT_EQ(x.ports, y.ports) << "seed " << seed;

@@ -80,5 +80,75 @@ TEST(ArchIo, RejectsBadInteger) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(ArchIo, ParsesMultiDeviceBoard) {
+  const BoardParseResult r = parse_board_string(
+      "board dual\n"
+      "device fpga0 pins 3\n"
+      "banktype ram0 instances 4 ports 2 rl 1 wl 1 pins 0\n"
+      "config 1024 8\n"
+      "end\n"
+      "device fpga1\n"
+      "banktype ram1 instances 8 ports 1 rl 1 wl 1 pins 0\n"
+      "config 2048 4\n"
+      "end\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.board.num_devices(), 2u);
+  EXPECT_TRUE(r.board.multi_device());
+  EXPECT_EQ(r.board.device(0).name, "fpga0");
+  EXPECT_EQ(r.board.device(0).inter_device_pins, 3);
+  EXPECT_EQ(r.board.device(1).name, "fpga1");
+  EXPECT_EQ(r.board.device(1).inter_device_pins, 0);
+  EXPECT_EQ(r.board.device_of_type(0), 0u);
+  EXPECT_EQ(r.board.device_of_type(1), 1u);
+}
+
+TEST(ArchIo, MultiDeviceBoardRoundTrips) {
+  Board board("dual");
+  board.add_device({.name = "fpga0", .inter_device_pins = 3});
+  BankType ram;
+  ram.name = "ram0";
+  ram.instances = 4;
+  ram.ports = 2;
+  ram.configs.push_back({1024, 8});
+  board.add_bank_type(ram);
+  board.add_device({.name = "empty_fpga"});  // zero banks must survive too
+
+  const BoardParseResult r = parse_board_string(board_to_string(board));
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.board.num_devices(), 2u);
+  EXPECT_EQ(r.board.device(0).name, "fpga0");
+  EXPECT_EQ(r.board.device(0).inter_device_pins, 3);
+  EXPECT_EQ(r.board.device(1).name, "empty_fpga");
+  EXPECT_TRUE(r.board.device_type_indices(1).empty());
+  // Idempotence: a second trip is byte-identical.
+  EXPECT_EQ(board_to_string(r.board), board_to_string(board));
+}
+
+TEST(ArchIo, SingleDeviceBoardsWriteNoDeviceLines) {
+  const BoardParseResult r = parse_board_string(
+      "board b\nbanktype t instances 1 ports 1 rl 1 wl 1 pins 0\n"
+      "config 16 8\nend\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(board_to_string(r.board).find("device"), std::string::npos);
+}
+
+TEST(ArchIo, RejectsBadDeviceDirectives) {
+  // Inside a banktype, after bank types, or with malformed pins.
+  const char* bad[] = {
+      "banktype t instances 1 ports 1 rl 1 wl 1 pins 0\ndevice d\n",
+      "banktype t instances 1 ports 1 rl 1 wl 1 pins 0\nconfig 16 8\nend\n"
+      "device late\n",
+      "device d pins\n",
+      "device d pins -2\n",
+      "device d ports 3\n",
+      "device\n",
+  };
+  for (const char* text : bad) {
+    const BoardParseResult r = parse_board_string(text);
+    EXPECT_FALSE(r.ok) << text;
+    EXPECT_FALSE(r.error.empty()) << text;
+  }
+}
+
 }  // namespace
 }  // namespace gmm::arch

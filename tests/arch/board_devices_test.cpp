@@ -1,0 +1,127 @@
+// Multi-device Board: device grouping, per-device totals, device views,
+// and the round-robin instance splitter behind `mapper_cli --devices`.
+#include <gtest/gtest.h>
+
+#include "arch/board.hpp"
+
+namespace gmm::arch {
+namespace {
+
+BankType bank(const std::string& name, std::int64_t instances,
+              std::int64_t ports, std::int64_t pins, std::int64_t depth,
+              std::int64_t width) {
+  BankType t;
+  t.name = name;
+  t.instances = instances;
+  t.ports = ports;
+  t.pins_traversed = pins;
+  t.configs.push_back({depth, width});
+  return t;
+}
+
+TEST(BoardDevices, ImplicitSingleDevice) {
+  Board board("b");
+  board.add_bank_type(bank("ram", 4, 2, 0, 1024, 8));
+  board.add_bank_type(bank("sram", 2, 1, 2, 32768, 32));
+
+  EXPECT_FALSE(board.has_explicit_devices());
+  EXPECT_FALSE(board.multi_device());
+  EXPECT_EQ(board.num_devices(), 1u);
+  EXPECT_EQ(board.device_of_type(0), 0u);
+  EXPECT_EQ(board.device_of_type(1), 0u);
+  EXPECT_EQ(board.device(0), BoardDevice{});
+  EXPECT_EQ(board.device_type_indices(0),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(board.device_banks(0), board.total_banks());
+  EXPECT_EQ(board.device_bits(0), board.total_bits());
+}
+
+TEST(BoardDevices, ExplicitDevicesGroupTypes) {
+  Board board("b");
+  board.add_device({.name = "fpga0", .inter_device_pins = 3});
+  board.add_bank_type(bank("ram0", 4, 2, 0, 1024, 8));
+  board.add_device({.name = "fpga1", .inter_device_pins = 5});
+  board.add_bank_type(bank("ram1", 8, 1, 0, 1024, 8));
+  board.add_bank_type(bank("sram1", 2, 1, 2, 32768, 32));
+
+  EXPECT_TRUE(board.has_explicit_devices());
+  EXPECT_TRUE(board.multi_device());
+  ASSERT_EQ(board.num_devices(), 2u);
+  EXPECT_EQ(board.device(0).name, "fpga0");
+  EXPECT_EQ(board.device(0).inter_device_pins, 3);
+  EXPECT_EQ(board.device(1).name, "fpga1");
+  EXPECT_EQ(board.device_of_type(0), 0u);
+  EXPECT_EQ(board.device_of_type(1), 1u);
+  EXPECT_EQ(board.device_of_type(2), 1u);
+  EXPECT_EQ(board.device_type_indices(1),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(board.device_banks(0), 4);
+  EXPECT_EQ(board.device_banks(1), 10);
+  EXPECT_EQ(board.device_bits(0), 4 * 1024 * 8);
+  // The flat complexity totals see every device's banks.
+  EXPECT_EQ(board.total_banks(), 14);
+}
+
+TEST(BoardDevices, ZeroBankDeviceIsRepresentable) {
+  Board board("b");
+  board.add_device({.name = "empty"});
+  board.add_device({.name = "full"});
+  board.add_bank_type(bank("ram", 4, 2, 0, 1024, 8));
+
+  ASSERT_EQ(board.num_devices(), 2u);
+  EXPECT_EQ(board.device_banks(0), 0);
+  EXPECT_TRUE(board.device_type_indices(0).empty());
+  EXPECT_EQ(board.device_banks(1), 4);
+}
+
+TEST(BoardDevices, DeviceViewIsAStandaloneSingleDeviceBoard) {
+  Board board("b");
+  board.add_device({.name = "fpga0"});
+  board.add_bank_type(bank("ram0", 4, 2, 0, 1024, 8));
+  board.add_device({.name = "fpga1"});
+  board.add_bank_type(bank("ram1", 8, 1, 0, 2048, 4));
+
+  const Board view = board.device_view(1);
+  EXPECT_EQ(view.name(), "b:fpga1");
+  EXPECT_FALSE(view.has_explicit_devices());
+  ASSERT_EQ(view.num_types(), 1u);
+  EXPECT_EQ(view.type(0).name, "ram1");
+  EXPECT_EQ(view.total_banks(), 8);
+}
+
+TEST(BoardDevices, SplitAcrossDevicesPreservesTotals) {
+  Board board("b");
+  board.add_bank_type(bank("ram", 16, 2, 0, 4096, 1));
+  board.add_bank_type(bank("sram", 4, 1, 2, 32768, 32));
+
+  for (const int devices : {1, 2, 3, 4}) {
+    const Board split = split_across_devices(board, devices, 3);
+    EXPECT_EQ(split.num_devices(), static_cast<std::size_t>(devices));
+    EXPECT_EQ(split.total_banks(), board.total_banks()) << devices;
+    EXPECT_EQ(split.total_ports(), board.total_ports()) << devices;
+    EXPECT_EQ(split.total_bits(), board.total_bits()) << devices;
+    for (std::size_t k = 0; k < split.num_devices(); ++k) {
+      EXPECT_EQ(split.device(k).name, "fpga" + std::to_string(k));
+      EXPECT_EQ(split.device(k).inter_device_pins, 3);
+      EXPECT_GT(split.device_banks(k), 0) << devices << " dev " << k;
+    }
+  }
+}
+
+TEST(BoardDevices, SplitOmitsTypesWithNoInstancesOnADevice) {
+  Board board("b");
+  board.add_bank_type(bank("ram", 5, 2, 0, 4096, 1));
+  board.add_bank_type(bank("sram", 1, 1, 2, 32768, 32));
+
+  // 1 sram over 3 devices: only device 0 gets it; the remainder of the
+  // 5 rams goes 2/2/1.
+  const Board split = split_across_devices(board, 3);
+  EXPECT_EQ(split.total_banks(), 6);
+  EXPECT_EQ(split.device_banks(0), 3);  // 2 ram + 1 sram
+  EXPECT_EQ(split.device_banks(1), 2);
+  EXPECT_EQ(split.device_banks(2), 1);
+  EXPECT_EQ(split.device_type_indices(2).size(), 1u);  // ram only
+}
+
+}  // namespace
+}  // namespace gmm::arch

@@ -176,6 +176,42 @@ TEST(ServiceJsonl, FullSessionAgainstRealServer) {
               stats.stats.basis.stored);
   }
 
+  // -- sharded mapping on an inline dual-device board --------------------
+  // A deliberately slack design: a split board loses co-location options,
+  // so a near-saturating workload would be legitimately unshardable.
+  workload::DesignGenOptions shard_gen;
+  shard_gen.num_segments = 6;
+  shard_gen.seed = 77;
+  shard_gen.target_port_utilization = 0.3;
+  shard_gen.target_bit_utilization = 0.25;
+  const design::Design shard_design =
+      workload::generate_design(small_board(), shard_gen);
+  {
+    const arch::Board dual = arch::split_across_devices(small_board(), 2);
+    JsonObject request;
+    request["id"] = std::string("sharded");
+    request["method"] = std::string("map");
+    request["board_text"] = arch::board_to_string(dual);
+    request["design_text"] = design::design_to_string(shard_design);
+    request["formulation"] = std::string("sharded");
+    ASSERT_TRUE(client.send_line(Json(std::move(request)).dump()));
+  }
+  std::map<std::string, Response> sharded_response;
+  ASSERT_TRUE(collect(client, {"sharded"}, sharded_response));
+  {
+    const Response& r = sharded_response.at("sharded");
+    ASSERT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    EXPECT_GE(r.shards, 1);
+    EXPECT_GE(r.stitch_cost, 0.0);
+    std::set<std::string> placed;
+    for (const PlacementEntry& p : r.placements) placed.insert(p.segment);
+    std::set<std::string> expected;
+    for (const auto& ds : shard_design.structures()) {
+      expected.insert(ds.name);
+    }
+    EXPECT_EQ(placed, expected);
+  }
+
   // -- deadline-limited request -> timeout -------------------------------
   // The flat complete formulation of a 64-segment design on the big
   // Table-3 board solves for seconds; 150 ms cannot finish it.

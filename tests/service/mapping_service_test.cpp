@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/arch_io.hpp"
+#include "arch/device_catalog.hpp"
 #include "design/design_io.hpp"
 #include "workload/workload_gen.hpp"
 
@@ -329,6 +330,49 @@ TEST(MappingService, StatsMethodReportsRequestAndSolverCounters) {
   EXPECT_EQ(direct.solves, stats.stats.solves);
   EXPECT_EQ(direct.nodes, stats.stats.nodes);
   EXPECT_EQ(direct.lp_iterations, stats.stats.lp_iterations);
+}
+
+TEST(MappingService, ShardedFormulationMapsMultiDeviceBoards) {
+  // A dual-device board via inline board_text: the sharded formulation
+  // must succeed, report its shard count, and bump the sharded solver
+  // counters; the same request against the single-device catalog board
+  // degenerates to the pipeline (shards == 1, stitch_cost == 0).
+  const arch::Board dual =
+      arch::split_across_devices(arch::single_fpga_board("XCV300", 4), 2);
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+
+  Request sharded = map_request("sh", quick_design_text());
+  sharded.map.sharded = true;
+  sharded.map.board_text = arch::board_to_string(dual);
+  service.handle(sharded);
+
+  Request degenerate = map_request("deg", quick_design_text());
+  degenerate.map.sharded = true;
+  service.handle(degenerate);
+  service.drain();
+
+  const Response multi = out.only("sh");
+  EXPECT_EQ(multi.status, ResponseStatus::kOk);
+  ASSERT_TRUE(multi.has_result);
+  EXPECT_GE(multi.shards, 1);
+  EXPECT_FALSE(multi.placements.empty());
+
+  const Response single = out.only("deg");
+  EXPECT_EQ(single.status, ResponseStatus::kOk);
+  ASSERT_TRUE(single.has_result);
+  EXPECT_EQ(single.shards, 1);
+  EXPECT_DOUBLE_EQ(single.stitch_cost, 0.0);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sharded_requests, 2);
+  EXPECT_GE(stats.shard_solves, 2);
+
+  // The degenerate sharded solve costs the same objective as global.
+  Request global = map_request("glob", quick_design_text());
+  service.handle(global);
+  service.drain();
+  EXPECT_DOUBLE_EQ(out.only("glob").objective, single.objective);
 }
 
 TEST(MappingService, PingAndInvalidRespondSynchronously) {

@@ -75,12 +75,59 @@ TEST(Protocol, ParsesStatsRequest) {
             Method::kStats);
 }
 
+TEST(Protocol, ParsesShardedFormulation) {
+  const Request r = parse_request_line(
+      R"({"id":"r1","method":"map","design_text":"d","formulation":"sharded"})");
+  ASSERT_EQ(r.method, Method::kMap);
+  EXPECT_TRUE(r.map.sharded);
+  EXPECT_FALSE(r.map.complete);
+
+  const Request global = parse_request_line(
+      R"({"id":"r2","method":"map","design_text":"d"})");
+  ASSERT_EQ(global.method, Method::kMap);
+  EXPECT_FALSE(global.map.sharded);
+
+  const Request bad = parse_request_line(
+      R"({"id":"r3","method":"map","design_text":"d","formulation":"mystery"})");
+  EXPECT_EQ(bad.method, Method::kInvalid);
+  EXPECT_NE(bad.error.find("sharded"), std::string::npos) << bad.error;
+}
+
+TEST(Protocol, ShardFieldsRoundTripOnMapResponses) {
+  Response r;
+  r.id = "m1";
+  r.method = "map";
+  r.status = ResponseStatus::kOk;
+  r.has_result = true;
+  r.solve_status = "optimal";
+  r.objective = 1234.0;
+  r.shards = 3;
+  r.stitch_cost = 98765.0;
+
+  const JsonParseResult parsed = parse_json(r.to_line());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Response back;
+  ASSERT_TRUE(Response::from_json(parsed.value, back));
+  ASSERT_TRUE(back.has_result);
+  EXPECT_EQ(back.shards, 3);
+  EXPECT_DOUBLE_EQ(back.stitch_cost, 98765.0);
+
+  // Non-sharded responses keep the legacy wire shape: no shard keys.
+  Response plain = r;
+  plain.shards = 0;
+  plain.stitch_cost = 0.0;
+  EXPECT_EQ(plain.to_line().find("shards"), std::string::npos);
+  EXPECT_EQ(plain.to_line().find("stitch_cost"), std::string::npos);
+}
+
 TEST(Protocol, StatsResponseRoundTrips) {
   Response r;
   r.id = "s1";
   r.method = "stats";
   r.status = ResponseStatus::kOk;
   r.has_stats = true;
+  r.stats.sharded_requests = 4;
+  r.stats.shard_solves = 17;
   r.stats.accepted = 9;
   r.stats.rejected = 2;
   r.stats.completed = 8;
@@ -112,6 +159,8 @@ TEST(Protocol, StatsResponseRoundTrips) {
   EXPECT_EQ(back.stats.solves, 7);
   EXPECT_EQ(back.stats.nodes, 1234);
   EXPECT_EQ(back.stats.lp_iterations, 56789);
+  EXPECT_EQ(back.stats.sharded_requests, 4);
+  EXPECT_EQ(back.stats.shard_solves, 17);
   EXPECT_EQ(back.stats.basis.stored, 400);
   EXPECT_EQ(back.stats.basis.loaded, 350);
   EXPECT_EQ(back.stats.basis.evicted, 25);
