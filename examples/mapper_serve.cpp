@@ -1,13 +1,22 @@
-// Long-lived mapping server speaking the jsonl protocol on stdin/stdout.
+// Long-lived mapping server speaking the jsonl protocol on stdin/stdout
+// or on a listening socket.
 //
 //   mapper_serve [board-file]... [options]
 //
 // Options:
-//   --workers N   concurrent mapping workers (default 1; 0 = hardware)
-//   --queue N     admission bound, queued + in-flight (default 64)
-//   --threads N   max B&B workers a request may ask for (default 8)
-//   --verbose     log at info level (logs go to stderr; stdout carries
-//                 only protocol lines)
+//   --workers N        concurrent mapping workers (default 1; 0 = hardware)
+//   --queue N          admission bound, queued + in-flight (default 64)
+//   --threads N        max B&B workers a request may ask for (default 8)
+//   --listen SPEC      serve socket clients instead of stdin/stdout:
+//                      a path ("/tmp/gmm.sock") is a Unix-domain socket,
+//                      "host:port" is TCP ("localhost:0" = kernel-assigned
+//                      port, announced on stdout as a "listening" event)
+//   --max-clients N    concurrent socket connections (default 256)
+//   --connect SPEC     client bridge: relay stdin jsonl to a listening
+//                      server and its responses to stdout (stdin EOF
+//                      half-closes; exits when the server closes)
+//   --verbose          log at info level (logs go to stderr; stdout
+//                      carries only protocol lines)
 //
 // Each board file becomes a catalog entry requests select with "board";
 // the first file is the default.  Requests may instead carry an inline
@@ -22,6 +31,7 @@
 
 #include "arch/arch_io.hpp"
 #include "service/serve_loop.hpp"
+#include "service/socket_server.hpp"
 #include "support/log.hpp"
 #include "support/string_util.hpp"
 
@@ -30,7 +40,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [board-file]... [--workers N] [--queue N] "
-               "[--threads N] [--verbose]\n",
+               "[--threads N] [--listen SPEC] [--max-clients N] "
+               "[--connect SPEC] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -44,6 +55,8 @@ bool parse_count(const char* text, std::int64_t max, std::int64_t& out) {
 int main(int argc, char** argv) {
   using namespace gmm;
   service::ServiceOptions options;
+  service::SocketServerOptions socket_options;
+  std::string connect_spec;
   std::vector<const char*> board_files;
   for (int i = 1; i < argc; ++i) {
     std::int64_t value = 0;
@@ -60,6 +73,15 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       options.max_threads_per_solve = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      socket_options.listen = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-clients") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 65536, value) || value == 0) {
+        return usage(argv[0]);
+      }
+      socket_options.max_clients = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       support::set_log_level(support::LogLevel::kInfo);
     } else if (argv[i][0] == '-') {
@@ -68,6 +90,11 @@ int main(int argc, char** argv) {
       board_files.push_back(argv[i]);
     }
   }
+  if (!connect_spec.empty() && !socket_options.listen.empty()) {
+    std::fprintf(stderr, "--connect and --listen are mutually exclusive\n");
+    return 2;
+  }
+  if (!connect_spec.empty()) return service::run_socket_client(connect_spec);
 
   std::vector<arch::Board> boards;
   boards.reserve(board_files.size());
@@ -94,6 +121,10 @@ int main(int argc, char** argv) {
     boards.push_back(std::move(parsed.board));
   }
 
+  if (!socket_options.listen.empty()) {
+    return service::run_socket_server(socket_options, std::move(boards),
+                                      options);
+  }
   return service::run_serve_loop(std::cin, std::cout, std::move(boards),
                                  options);
 }

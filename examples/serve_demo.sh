@@ -12,6 +12,11 @@
 # still-in-flight solves and may print before them), and a graceful
 # shutdown.  Responses stream to stdout one JSON object per line.
 #
+# A second section repeats the conversation over a Unix-domain SOCKET:
+# the same binary serves with --listen and bridges clients with
+# --connect, exercising a v2 request (solver knobs in the nested
+# "options" object) and an unchanged v1 legacy request side by side.
+#
 # The script FAILS (exit 1) when any response carries "status":"error"
 # or when no response arrives at all — so CI smoke runs catch a broken
 # serve path instead of rubber-stamping whatever the server printed.
@@ -44,5 +49,58 @@ if [ -z "$OUT" ]; then
 fi
 if printf '%s\n' "$OUT" | grep -q '"status":"error"'; then
   echo "serve_demo: a response carried \"status\":\"error\" (see above)" >&2
+  exit 1
+fi
+
+# ---- socket mode ----------------------------------------------------------
+# The same protocol over a Unix-domain socket: one server, two client
+# sessions through the built-in --connect bridge (no netcat needed).
+# The v2 request tunes the solver through "options"; the v1 request is
+# bytes a legacy client could have sent unchanged (its response carries
+# no "v" key).  Socket paths live under /tmp: sockaddr_un caps them at
+# ~108 bytes, which deep build trees overflow.
+SOCK="/tmp/gmm_serve_demo_$$.sock"
+"$SERVE" "$DATA/board_xcv300.txt" --listen "$SOCK" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -f "$SOCK"' EXIT
+
+# The bridge does not retry a missing socket: wait for the bind first.
+tries=0
+while [ ! -S "$SOCK" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1))
+  sleep 0.1
+done
+
+SOCKET_OUT="$("$SERVE" --connect "$SOCK" <<EOF
+{"id":"ping-sock","method":"ping"}
+{"v":2,"id":"tuned","method":"map","design_path":"$DATA/design_filter.txt","options":{"gap":0.01,"threads":2,"time_limit_ms":30000}}
+{"id":"legacy","method":"map","design_path":"$DATA/design_filter.txt","threads":1}
+{"id":"tally-sock","method":"stats"}
+EOF
+)"
+SHUTDOWN_OUT="$(printf '{"method":"shutdown"}\n' | "$SERVE" --connect "$SOCK")"
+wait "$SERVER_PID"
+trap - EXIT
+rm -f "$SOCK"
+
+printf '%s\n%s\n' "$SOCKET_OUT" "$SHUTDOWN_OUT"
+
+if [ -z "$SOCKET_OUT" ]; then
+  echo "serve_demo: no responses over the socket" >&2
+  exit 1
+fi
+for check in '"status":"error"'; do
+  if printf '%s\n' "$SOCKET_OUT$SHUTDOWN_OUT" | grep -q "$check"; then
+    echo "serve_demo: a socket response carried $check (see above)" >&2
+    exit 1
+  fi
+done
+# The v2 response must echo its version; the v1 response must not grow one.
+if ! printf '%s\n' "$SOCKET_OUT" | grep -q '"id":"tuned".*"v":2\|"v":2.*"id":"tuned"'; then
+  echo "serve_demo: the v2 response did not echo \"v\":2" >&2
+  exit 1
+fi
+if printf '%s\n' "$SOCKET_OUT" | grep '"id":"legacy"' | grep -q '"v":'; then
+  echo "serve_demo: the legacy v1 response grew a \"v\" key" >&2
   exit 1
 fi

@@ -79,6 +79,10 @@ void MappingService::drain() {
 }
 
 void MappingService::handle(const Request& request) {
+  if (request.unknown_fields > 0) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.unknown_field_requests;
+  }
   switch (request.method) {
     case Method::kMap:
       handle_map(request);
@@ -87,6 +91,7 @@ void MappingService::handle(const Request& request) {
       Response ack;
       ack.id = request.id;
       ack.method = "cancel";
+      ack.v = request.version;
       ack.status = ResponseStatus::kOk;
       ack.target = request.target;
       {
@@ -102,6 +107,7 @@ void MappingService::handle(const Request& request) {
       Response pong;
       pong.id = request.id;
       pong.method = "ping";
+      pong.v = request.version;
       pong.status = ResponseStatus::kOk;
       sink_(pong);
       return;
@@ -110,6 +116,7 @@ void MappingService::handle(const Request& request) {
       Response snapshot;
       snapshot.id = request.id;
       snapshot.method = "stats";
+      snapshot.v = request.version;
       snapshot.status = ResponseStatus::kOk;
       snapshot.has_stats = true;
       snapshot.stats = stats();
@@ -122,6 +129,7 @@ void MappingService::handle(const Request& request) {
       Response ack;
       ack.id = request.id;
       ack.method = "shutdown";
+      ack.v = request.version;
       ack.status = ResponseStatus::kOk;
       sink_(ack);
       return;
@@ -129,6 +137,7 @@ void MappingService::handle(const Request& request) {
     case Method::kInvalid: {
       Response err;
       err.id = request.id;
+      err.v = request.version;
       err.status = ResponseStatus::kError;
       err.error = request.error.empty() ? "invalid request" : request.error;
       sink_(err);
@@ -141,6 +150,21 @@ void MappingService::handle_map(const Request& request) {
   Response reject;
   reject.id = request.id;
   reject.method = "map";
+  reject.v = request.version;
+  // Out-of-range solver knobs terminate the request here with status
+  // "rejected" — never a silent clamp into a quality/effort contract the
+  // client did not ask for (the per-solve thread CAP is the exception:
+  // that is operator policy, applied in apply_solver_knobs).
+  if (!request.reject_reason.empty()) {
+    {
+      const std::scoped_lock lock(mutex_);
+      ++stats_.rejected;
+    }
+    reject.status = ResponseStatus::kRejected;
+    reject.error = request.reject_reason;
+    sink_(reject);
+    return;
+  }
   auto token = std::make_shared<support::CancelToken>();
   {
     const std::scoped_lock lock(mutex_);
@@ -173,16 +197,19 @@ void MappingService::handle_map(const Request& request) {
   if (request.map.deadline_ms >= 0) {
     token->set_deadline_after_seconds(request.map.deadline_ms / 1000.0);
   }
-  pool_->submit([this, id = request.id, map = request.map, token] {
-    run_map(id, map, token);
-  });
+  pool_->submit(
+      [this, id = request.id, v = request.version, map = request.map, token] {
+        run_map(id, v, map, token);
+      });
 }
 
-void MappingService::run_map(const std::string& id, const MapRequest& request,
+void MappingService::run_map(const std::string& id, int version,
+                             const MapRequest& request,
                              const support::CancelTokenPtr& token) {
   Response response;
   response.id = id;
   response.method = "map";
+  response.v = version;
 
   // A request whose token fired while queued never starts a solve.
   if (token->should_stop()) {
@@ -232,9 +259,9 @@ void MappingService::run_map(const std::string& id, const MapRequest& request,
 
   ilp::MipOptions mip;
   mip.cancel_token = token;
-  mip.num_threads = std::min(
-      request.threads <= 0 ? options_.max_threads_per_solve : request.threads,
-      options_.max_threads_per_solve);
+  // The one shared mapping from wire knobs onto MipOptions (gap,
+  // node/time budgets, basis cache, threads clamped to the server cap).
+  apply_solver_knobs(request.knobs, options_.max_threads_per_solve, mip);
 
   // Every formulation lands in the same (status, assignment, detailed,
   // effort, mip) shape; retries and the shard counters are specific to

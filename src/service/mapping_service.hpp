@@ -89,7 +89,7 @@ class MappingService {
 
  private:
   void handle_map(const Request& request);
-  void run_map(const std::string& id, const MapRequest& request,
+  void run_map(const std::string& id, int version, const MapRequest& request,
                const support::CancelTokenPtr& token);
   /// Emit the terminal response for `id` and release its registry slot.
   void finish(Response response);

@@ -5,6 +5,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -12,6 +13,8 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "service/socket_server.hpp"
 
 namespace gmm::service {
 
@@ -85,14 +88,48 @@ bool ProcessClient::start(const std::string& exe,
   return true;
 }
 
+bool ProcessClient::connect(const std::string& spec, double timeout_seconds) {
+  if (to_child_ >= 0 || from_child_ >= 0) return false;  // already wired
+  const SocketEndpoint endpoint = parse_socket_endpoint(spec);
+  if (!endpoint.ok) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  while (true) {
+    std::string error;
+    const int fd = connect_socket_endpoint(endpoint, error);
+    if (fd >= 0) {
+      to_child_ = fd;
+      from_child_ = ::dup(fd);  // separate fds, one stream: close_stdin
+                                // may release the write side alone
+      if (from_child_ < 0) {
+        ::close(fd);
+        to_child_ = -1;
+        return false;
+      }
+      socket_ = true;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
 bool ProcessClient::send_line(const std::string& line) {
   if (to_child_ < 0) return false;
   std::string data = line;
   data.push_back('\n');
   std::size_t written = 0;
   while (written < data.size()) {
+    // MSG_NOSIGNAL on the socket path: a dropped connection must fail
+    // the send, not raise SIGPIPE (pipe mode relies on the SIG_IGN set
+    // in start()).
     const ssize_t n =
-        ::write(to_child_, data.data() + written, data.size() - written);
+        socket_ ? ::send(to_child_, data.data() + written,
+                         data.size() - written, MSG_NOSIGNAL)
+                : ::write(to_child_, data.data() + written,
+                          data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -148,7 +185,13 @@ std::optional<std::string> ProcessClient::read_line(double timeout_seconds) {
   }
 }
 
-void ProcessClient::close_stdin() { close_fd(to_child_); }
+void ProcessClient::close_stdin() {
+  // In connect() mode the write side is half of one socket: shut it down
+  // so the server sees EOF (its graceful-linger trigger) while our read
+  // side (a dup) keeps delivering in-flight responses.
+  if (socket_ && to_child_ >= 0) ::shutdown(to_child_, SHUT_WR);
+  close_fd(to_child_);
+}
 
 int ProcessClient::wait_exit(double timeout_seconds) {
   if (pid_ <= 0) return -1;
@@ -195,6 +238,7 @@ bool ProcessClient::start(const std::string&,
                           const std::vector<std::string>&) {
   return false;
 }
+bool ProcessClient::connect(const std::string&, double) { return false; }
 bool ProcessClient::send_line(const std::string&) { return false; }
 std::optional<std::string> ProcessClient::read_line(double) {
   return std::nullopt;

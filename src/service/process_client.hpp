@@ -33,6 +33,15 @@ class ProcessClient {
   /// stderr passes through to ours so server logs show up in test output.
   bool start(const std::string& exe, const std::vector<std::string>& args);
 
+  /// Connect to a listening `mapper_serve --listen` socket instead of
+  /// spawning a child — send_line / read_line / close_stdin then behave
+  /// exactly as in pipe mode (close_stdin half-closes the socket; the
+  /// server lingers until in-flight requests answer).  Retries the
+  /// connect until `timeout_seconds` so tests may race a just-spawned
+  /// server's bind.  `spec` as in parse_socket_endpoint (path or
+  /// host:port).  wait_exit does not apply (no child): returns -1.
+  bool connect(const std::string& spec, double timeout_seconds = 5.0);
+
   /// Write one line (a '\n' is appended).  False once the pipe is broken.
   bool send_line(const std::string& line);
 
@@ -52,8 +61,9 @@ class ProcessClient {
   void kill_child();
 
   long pid_ = -1;       // pid_t, kept as long to stay header-portable
-  int to_child_ = -1;   // write end of the child's stdin
-  int from_child_ = -1; // read end of the child's stdout
+  int to_child_ = -1;   // write end of the child's stdin (or the socket)
+  int from_child_ = -1; // read end of the child's stdout (or a dup of it)
+  bool socket_ = false; // connect() mode: fds are one stream socket
   std::string buffer_;  // bytes read but not yet returned as a line
 };
 

@@ -1,25 +1,32 @@
 #include "service/protocol.hpp"
 
+#include <array>
+#include <string_view>
+
 namespace gmm::service {
 
 namespace {
 
-bool field_as_positive_int(const Json& object, const std::string& key,
-                           int fallback, int max, int& out,
-                           std::string& error) {
-  const Json* field = object.find(key);
-  if (field == nullptr) {
-    out = fallback;
-    return true;
+/// Count the top-level fields of `object` that are not in `known`.
+/// Unknown fields are tolerated (forward compatibility: a v3 client
+/// talking to a v2 server should degrade, not break) but surfaced
+/// through the `unknown_field_requests` stat so drift is visible.
+template <std::size_t N>
+int count_unknown_fields(const Json& object,
+                         const std::array<std::string_view, N>& known) {
+  int unknown = 0;
+  for (const auto& [key, value] : object.as_object()) {
+    (void)value;
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++unknown;
   }
-  if (!field->is_number() || field->as_number() < 0 ||
-      field->as_number() > max) {
-    error = "'" + key + "' must be a number in [0, " + std::to_string(max) +
-            "]";
-    return false;
-  }
-  out = static_cast<int>(field->as_number());
-  return true;
+  return unknown;
 }
 
 }  // namespace
@@ -36,12 +43,29 @@ Request parse_request_line(const std::string& line) {
     request.error = "request must be a json object";
     return request;
   }
-  // Recover the id first so even a malformed request gets a correlated
-  // error response.
+  // Recover the id and version first so even a malformed request gets a
+  // correlated, version-echoing error response.
   request.id = object.get_string("id");
+  const Json* version = object.find("v");
+  if (version != nullptr) {
+    if (!version->is_number() || version->as_number() < 1 ||
+        version->as_number() > kProtocolVersionMax ||
+        version->as_number() !=
+            static_cast<double>(static_cast<int>(version->as_number()))) {
+      request.error = "'v' must be an integer in [1, " +
+                      std::to_string(kProtocolVersionMax) + "]";
+      return request;
+    }
+    request.version = static_cast<int>(version->as_number());
+  }
 
   const std::string method = object.get_string("method");
   if (method == "map") {
+    static constexpr std::array<std::string_view, 12> kKnown = {
+        "v",           "id",          "method",  "board",
+        "board_text",  "design_text", "design_path", "formulation",
+        "complete",    "threads",     "deadline_ms", "options"};
+    request.unknown_fields = count_unknown_fields(object, kKnown);
     request.map.board_name = object.get_string("board");
     request.map.board_text = object.get_string("board_text");
     request.map.design_text = object.get_string("design_text");
@@ -55,8 +79,12 @@ Request parse_request_line(const std::string& line) {
           "map requests need exactly one of 'design_text' or 'design_path'";
       return request;
     }
+    // "formulation" wins over the oldest-style flat "complete":true flag;
+    // both canonicalize onto the same booleans.
     const std::string formulation =
-        object.get_string("formulation", "global");
+        object.get_string("formulation", object.get_bool("complete", false)
+                                             ? "complete"
+                                             : "global");
     if (formulation == "complete") {
       request.map.complete = true;
     } else if (formulation == "sharded") {
@@ -64,11 +92,6 @@ Request parse_request_line(const std::string& line) {
     } else if (formulation != "global") {
       request.error =
           "'formulation' must be 'global', 'complete' or 'sharded'";
-      return request;
-    }
-    // 1024 matches mapper_cli's thread-count sanity bound.
-    if (!field_as_positive_int(object, "threads", 1, 1024,
-                               request.map.threads, request.error)) {
       return request;
     }
     const Json* deadline = object.find("deadline_ms");
@@ -79,20 +102,32 @@ Request parse_request_line(const std::string& line) {
       }
       request.map.deadline_ms = deadline->as_number();
     }
+    // Solver knobs last: the request is structurally valid by now, so an
+    // out-of-range knob is a REJECTION (kMap + reject_reason), not a
+    // protocol error — the client spoke the protocol fine and asked for
+    // a contract the server refuses.
     request.method = Method::kMap;
+    std::string reject;
+    if (!parse_solver_knobs(object, request.map.knobs, reject)) {
+      request.reject_reason = std::move(reject);
+    }
   } else if (method == "cancel") {
+    static constexpr std::array<std::string_view, 4> kKnown = {
+        "v", "id", "method", "target"};
+    request.unknown_fields = count_unknown_fields(object, kKnown);
     request.target = object.get_string("target");
     if (request.target.empty()) {
       request.error = "cancel requests need a 'target' id";
       return request;
     }
     request.method = Method::kCancel;
-  } else if (method == "ping") {
-    request.method = Method::kPing;
-  } else if (method == "stats") {
-    request.method = Method::kStats;
-  } else if (method == "shutdown") {
-    request.method = Method::kShutdown;
+  } else if (method == "ping" || method == "stats" || method == "shutdown") {
+    static constexpr std::array<std::string_view, 3> kKnown = {"v", "id",
+                                                              "method"};
+    request.unknown_fields = count_unknown_fields(object, kKnown);
+    request.method = method == "ping"    ? Method::kPing
+                     : method == "stats" ? Method::kStats
+                                         : Method::kShutdown;
   } else if (method.empty()) {
     request.error = "missing 'method'";
   } else {
@@ -123,6 +158,7 @@ Json Response::to_json() const {
   JsonObject object;
   if (!id.empty()) object["id"] = id;
   if (!method.empty()) object["method"] = method;
+  if (v > 0) object["v"] = v;
   object["status"] = std::string(to_string(status));
   if (!error.empty()) object["error"] = error;
   if (!target.empty()) {
@@ -163,6 +199,7 @@ Json Response::to_json() const {
     object["completed"] = stats.completed;
     object["cancelled"] = stats.cancelled;
     object["timed_out"] = stats.timed_out;
+    object["unknown_field_requests"] = stats.unknown_field_requests;
     JsonObject solver;
     solver["solves"] = stats.solves;
     solver["nodes"] = stats.nodes;
@@ -177,6 +214,19 @@ Json Response::to_json() const {
     solver["cold_pop_pivots"] = stats.basis.cold_pop_pivots;
     solver["basis_hit_rate"] = stats.basis.hit_rate();
     object["solver"] = std::move(solver);
+    // Only a socket-fronted server has transport traffic; the pipe mode
+    // keeps its legacy wire shape.
+    if (stats.transport.connections_opened > 0) {
+      JsonObject transport;
+      transport["connections_opened"] = stats.transport.connections_opened;
+      transport["connections_closed"] = stats.transport.connections_closed;
+      transport["requests"] = stats.transport.requests;
+      transport["bytes_received"] = stats.transport.bytes_received;
+      transport["bytes_sent"] = stats.transport.bytes_sent;
+      transport["responses_dropped"] = stats.transport.responses_dropped;
+      transport["shed"] = stats.transport.shed;
+      object["transport"] = std::move(transport);
+    }
   }
   return Json(std::move(object));
 }
@@ -188,6 +238,7 @@ bool Response::from_json(const Json& value, Response& out) {
   out = Response{};
   out.id = value.get_string("id");
   out.method = value.get_string("method");
+  out.v = static_cast<int>(value.get_number("v", 0.0));
   const std::string status = value.get_string("status");
   bool known = false;
   for (const ResponseStatus s :
@@ -247,6 +298,7 @@ bool Response::from_json(const Json& value, Response& out) {
     out.stats.completed = count("completed");
     out.stats.cancelled = count("cancelled");
     out.stats.timed_out = count("timed_out");
+    out.stats.unknown_field_requests = count("unknown_field_requests");
     const Json* solver = value.find("solver");
     if (solver != nullptr && solver->is_object()) {
       const auto scount = [solver](const char* key) {
@@ -263,6 +315,19 @@ bool Response::from_json(const Json& value, Response& out) {
       out.stats.basis.cold_pops = scount("cold_pops");
       out.stats.basis.warm_pop_pivots = scount("warm_pop_pivots");
       out.stats.basis.cold_pop_pivots = scount("cold_pop_pivots");
+    }
+    const Json* transport = value.find("transport");
+    if (transport != nullptr && transport->is_object()) {
+      const auto tcount = [transport](const char* key) {
+        return static_cast<std::int64_t>(transport->get_number(key, 0.0));
+      };
+      out.stats.transport.connections_opened = tcount("connections_opened");
+      out.stats.transport.connections_closed = tcount("connections_closed");
+      out.stats.transport.requests = tcount("requests");
+      out.stats.transport.bytes_received = tcount("bytes_received");
+      out.stats.transport.bytes_sent = tcount("bytes_sent");
+      out.stats.transport.responses_dropped = tcount("responses_dropped");
+      out.stats.transport.shed = tcount("shed");
     }
   }
   return true;

@@ -1,7 +1,20 @@
 // The jsonl mapping-service wire protocol (one JSON object per line).
 //
+// Versioning: requests may carry "v" (1 or 2; absent means 1).  The v2
+// envelope moves the solver knobs into a nested "options" object; v1
+// flat requests keep working unchanged and are canonicalized onto the
+// same internal form.  Responses echo the request's explicit "v" and
+// omit it for unversioned requests, so legacy clients see byte-identical
+// traffic.  Unknown request fields are ignored but COUNTED (the stats
+// counter `unknown_field_requests`), so a misspelled field shows up in
+// monitoring instead of vanishing; unknown keys INSIDE "options" are
+// rejected outright — a silently dropped solver knob would return an
+// answer under the wrong quality contract.
+//
 // Requests:
-//   {"id":"r1","method":"map","design_text":"...", ...}   map a design
+//   {"v":2,"id":"r1","method":"map","design_text":"...",
+//    "options":{"gap":0.01,"max_nodes":100000,"time_limit_ms":5000,
+//               "threads":2,"max_stored_bases":1024}, ...}
 //     fields: "board" (catalog name; default = first loaded board),
 //             "board_text" (inline board, overrides "board"),
 //             "design_text" | "design_path" (exactly one required),
@@ -10,10 +23,14 @@
 //             baseline; far slower on big boards — or "sharded", the
 //             multi-device partition/fan-out/stitch mapper; on
 //             single-device boards it degenerates to "global"),
-//             "threads" (B&B workers per solve, default 1; 0 = the
-//             server's per-solve cap, see --threads),
+//             "options" (per-request solver knobs, see
+//             service/solver_knobs.hpp; out-of-range values terminate
+//             the request with status "rejected"),
 //             "deadline_ms" (request deadline incl. queue wait; absent =
-//             none; 0 = already expired, i.e. reject unless trivial)
+//             none; 0 = already expired, i.e. reject unless trivial).
+//     Legacy v1 flat fields, still accepted in any version:
+//             "threads" (= options.threads; options wins when both
+//             appear), "complete":true (= "formulation":"complete").
 //   {"id":"c1","method":"cancel","target":"r1"}           cancel a request
 //   {"id":"p1","method":"ping"}                           liveness probe
 //   {"id":"s1","method":"stats"}                          service counters
@@ -34,18 +51,24 @@
 //   included in "objective").
 //
 //   {"id":"s1","method":"stats","status":"ok","accepted":3,"rejected":0,
-//    "completed":3,"cancelled":0,"timed_out":1,
+//    "completed":3,"cancelled":0,"timed_out":1,"unknown_field_requests":0,
 //    "solver":{"solves":3,"nodes":120,"lp_iterations":987,
 //              "sharded_requests":1,"shard_solves":4,
 //              "bases_stored":64,"bases_loaded":60,"bases_evicted":0,
 //              "cold_pops":4,"warm_pop_pivots":95,"cold_pop_pivots":310,
-//              "basis_hit_rate":0.9375}}
+//              "basis_hit_rate":0.9375},
+//    "transport":{"connections_opened":9,"connections_closed":1,
+//                 "requests":120,"bytes_received":48213,
+//                 "bytes_sent":391245,"responses_dropped":0,"shed":4}}
 //   stats is answered synchronously: request accounting plus the solver
-//   counters (branch & bound nodes, LP pivots, basis warm-start cache)
-//   summed over every solve the service has completed.
+//   counters summed over every solve the service has completed.  The
+//   "transport" object appears only when the server fronts socket
+//   clients (see service/socket_server.hpp); the stdin/stdout pipe mode
+//   never emits it.
 //
 // Deadline semantics: the clock starts when the request is accepted, so
-// queue wait counts against it.  Cancel semantics: cancelling an in-flight
+// queue wait counts against it (options.time_limit_ms, by contrast,
+// budgets the solve alone).  Cancel semantics: cancelling an in-flight
 // request stops the branch & bound at its next node boundary; cancelling
 // a queued request prevents it from starting.  Either way the request
 // terminates with status "cancelled".  Cancelling an unknown or already
@@ -58,6 +81,7 @@
 
 #include "lp/basis.hpp"
 #include "service/json.hpp"
+#include "service/solver_knobs.hpp"
 
 namespace gmm::service {
 
@@ -70,6 +94,9 @@ enum class Method : std::uint8_t {
   kInvalid,  // unparseable line or unknown method; `error` says why
 };
 
+/// Protocol versions the parser accepts ("v" absent parses as 1).
+inline constexpr int kProtocolVersionMax = 2;
+
 /// Monotonic counters for monitoring, the `stats` protocol method, and
 /// the stress tests: request accounting plus the solver effort
 /// aggregated over every completed solve (the `solver` wire object).
@@ -79,6 +106,9 @@ struct ServiceStats {
   std::int64_t completed = 0;  // terminal responses emitted, any status
   std::int64_t cancelled = 0;
   std::int64_t timed_out = 0;
+  /// Requests (any method) that carried at least one unknown top-level
+  /// field — ignored for compatibility, counted for monitoring.
+  std::int64_t unknown_field_requests = 0;
 
   // Aggregate solver counters, summed over completed solves (requests
   // that reached the solver; rejected/queue-cancelled ones never do).
@@ -90,6 +120,21 @@ struct ServiceStats {
   std::int64_t sharded_requests = 0;
   std::int64_t shard_solves = 0;
   lp::BasisCacheStats basis;       // warm-start cache counters
+
+  /// Socket-transport counters, folded in by the socket server (all zero
+  /// in stdin/stdout mode; the wire omits the "transport" object then).
+  struct Transport {
+    std::int64_t connections_opened = 0;
+    std::int64_t connections_closed = 0;
+    std::int64_t requests = 0;        // protocol lines dispatched
+    std::int64_t bytes_received = 0;
+    std::int64_t bytes_sent = 0;
+    /// Terminal responses whose client had already disconnected.
+    std::int64_t responses_dropped = 0;
+    /// Requests shed at admission (status "rejected") over sockets.
+    std::int64_t shed = 0;
+  };
+  Transport transport;
 };
 
 /// A "map" request body.  Defaults chosen so an empty object is invalid
@@ -101,16 +146,26 @@ struct MapRequest {
   std::string design_path;  // or a file path the server reads
   bool complete = false;    // solve the flat "complete" formulation
   bool sharded = false;     // multi-device partition/fan-out/stitch mapper
-  int threads = 1;          // B&B workers for this solve (0 = server cap)
+  SolverKnobs knobs;        // per-request solver controls ("options")
   double deadline_ms = -1.0;  // < 0 = no deadline
 };
 
 struct Request {
   Method method = Method::kInvalid;
+  /// Explicit protocol version: 0 when the request carried no "v"
+  /// (semantically v1); responses echo it (and omit "v" for 0).
+  int version = 0;
   std::string id;      // request correlation id ("" allowed except for map)
   std::string target;  // cancel: the id to cancel
   MapRequest map;      // valid when method == kMap
   std::string error;   // parse failure message when method == kInvalid
+  /// Structurally valid map request whose solver knobs were out of
+  /// range: the service terminates it with status "rejected" and this
+  /// message instead of solving under a contract the client never asked
+  /// for.  Empty otherwise.
+  std::string reject_reason;
+  /// Unknown top-level fields seen (ignored-but-counted).
+  int unknown_fields = 0;
 };
 
 /// Parse one protocol line.  Never throws; malformed input yields
@@ -123,10 +178,11 @@ enum class ResponseStatus : std::uint8_t {
   kTimeout,
   kCancelled,
   kInfeasible,
-  /// Admission refused — bounded queue full, or the id is still active
-  /// (duplicate submission).  Never a solve outcome: an in-flight
-  /// request with the same id is unaffected and will still emit its own
-  /// terminal response.  Resubmit later / with a fresh id.
+  /// Admission refused — bounded queue full, the id is still active
+  /// (duplicate submission), or a solver knob was out of range.  Never a
+  /// solve outcome: an in-flight request with the same id is unaffected
+  /// and will still emit its own terminal response.  Resubmit later /
+  /// with a fresh id / with corrected knobs.
   kRejected,
   kError,  // bad request, unknown board, parse failure, solver failure
 };
@@ -150,6 +206,9 @@ struct PlacementEntry {
 struct Response {
   std::string id;
   std::string method;  // echoes the request method
+  /// Echo of the request's explicit "v"; 0 = omit from the wire (the
+  /// request was unversioned, so the response stays byte-compatible).
+  int v = 0;
   ResponseStatus status = ResponseStatus::kError;
   std::string error;   // set for error/rejected
   std::string target;  // cancel acks: the cancelled id

@@ -1,0 +1,311 @@
+// End-to-end socket-transport test: spawns the real `mapper_serve
+// --listen` binary and drives it with many CONCURRENT socket clients
+// (ProcessClient::connect — the same helper the stdin/stdout tests use,
+// so both transports share one driver):
+//
+//   * 8 concurrent clients over a Unix-domain socket, each running its
+//     own map request; per-client responses must route back to the
+//     connection that asked, never cross wires;
+//   * stats folding in the transport counters (connections, requests,
+//     shed, unknown-field count);
+//   * v1 flat requests and v2 "options" requests served side by side on
+//     different connections, with the version echo per request;
+//   * out-of-range solver knobs answered with status "rejected";
+//   * deadline and cancel semantics identical to stdin mode, over TCP;
+//   * a shutdown from one client draining the server: every other
+//     client sees EOF and the process exits 0.
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/arch_io.hpp"
+#include "design/design_io.hpp"
+#include "service/json.hpp"
+#include "service/process_client.hpp"
+#include "service/protocol.hpp"
+#include "workload/workload_gen.hpp"
+
+namespace gmm::service {
+namespace {
+
+#ifndef GMM_MAPPER_SERVE_PATH
+#define GMM_MAPPER_SERVE_PATH ""
+#endif
+
+constexpr double kReadTimeout = 120.0;  // generous: CI boxes can be slow
+
+arch::Board small_board() {
+  return *workload::board_from_totals({.banks = 23, .ports = 45,
+                                       .configs = 100});
+}
+
+arch::Board big_board() {
+  return *workload::board_from_totals({.banks = 180, .ports = 265,
+                                       .configs = 375});
+}
+
+/// Unix socket paths must fit sockaddr_un's ~108 bytes; build trees
+/// often do not, so sockets live under /tmp, keyed by pid for parallel
+/// ctest invocations.
+std::string scratch_socket_path(const char* tag) {
+  long pid = 0;
+#ifndef _WIN32
+  pid = static_cast<long>(::getpid());
+#endif
+  return "/tmp/gmm_" + std::string(tag) + "_" + std::to_string(pid) +
+         ".sock";
+}
+
+/// Spawn `mapper_serve --listen` and wait for its "listening" event;
+/// returns the bound endpoint ("" on failure).  For "host:0" the event
+/// carries the kernel-assigned port.
+std::string spawn_listening_server(ProcessClient& server,
+                                   std::vector<std::string> args,
+                                   const std::string& listen_spec) {
+  args.push_back("--listen");
+  args.push_back(listen_spec);
+  if (!server.start(GMM_MAPPER_SERVE_PATH, args)) return "";
+  const auto event = server.read_line(kReadTimeout);
+  if (!event.has_value()) {
+    ADD_FAILURE() << "server printed no listening event";
+    return "";
+  }
+  const JsonParseResult parsed = parse_json(*event);
+  EXPECT_TRUE(parsed.ok) << *event;
+  if (!parsed.ok || !parsed.value.is_object()) return "";
+  return parsed.value.get_string("endpoint", "");
+}
+
+Response read_response(ProcessClient& client) {
+  Response response;
+  const auto line = client.read_line(kReadTimeout);
+  if (!line.has_value()) {
+    ADD_FAILURE() << "server went silent";
+    return response;
+  }
+  const JsonParseResult parsed = parse_json(*line);
+  EXPECT_TRUE(parsed.ok) << *line;
+  if (parsed.ok) {
+    EXPECT_TRUE(Response::from_json(parsed.value, response)) << *line;
+  }
+  return response;
+}
+
+TEST(SocketServer, EightConcurrentClientsOverUnixSocket) {
+  if (std::string(GMM_MAPPER_SERVE_PATH).empty()) {
+    GTEST_SKIP() << "mapper_serve path not configured";
+  }
+  const std::string board_file = "socket_server_test_board.txt";
+  {
+    std::ofstream out(board_file);
+    ASSERT_TRUE(out.good());
+    arch::write_board(out, small_board());
+  }
+  ProcessClient server;
+  const std::string endpoint = spawn_listening_server(
+      server, {board_file, "--workers", "4"}, scratch_socket_path("itest"));
+  if (endpoint.empty()) {
+    GTEST_SKIP() << "cannot spawn subprocesses on this platform";
+  }
+
+  // -- 8 clients, one in-flight map each ---------------------------------
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<ProcessClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<ProcessClient>());
+    ASSERT_TRUE(clients.back()->connect(endpoint)) << "client " << i;
+  }
+  for (int i = 0; i < kClients; ++i) {
+    workload::DesignGenOptions gen;
+    gen.num_segments = 8 + i;
+    gen.seed = 2000 + static_cast<std::uint64_t>(i);
+    JsonObject request;
+    request["v"] = 2;
+    request["id"] = std::string("job-") + std::to_string(i);
+    request["method"] = std::string("map");
+    request["design_text"] = design::design_to_string(
+        workload::generate_design(small_board(), gen));
+    JsonObject options;
+    options["threads"] = 1;
+    options["gap"] = 1e-4;
+    request["options"] = Json(std::move(options));
+    ASSERT_TRUE(clients[static_cast<std::size_t>(i)]->send_line(
+        Json(std::move(request)).dump()));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    const Response r = read_response(*clients[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(r.id, "job-" + std::to_string(i)) << "cross-wired response";
+    EXPECT_EQ(r.method, "map");
+    EXPECT_EQ(r.v, 2) << "v2 request must echo its version";
+    EXPECT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    EXPECT_EQ(r.solve_status, "optimal");
+    EXPECT_FALSE(r.placements.empty());
+  }
+
+  // -- unknown top-level fields: ignored, counted ------------------------
+  ASSERT_TRUE(clients[0]->send_line(
+      R"({"id":"typo","method":"ping","colour":"blue"})"));
+  EXPECT_EQ(read_response(*clients[0]).status, ResponseStatus::kOk);
+
+  // -- rejected knobs: structurally valid, out-of-range ------------------
+  ASSERT_TRUE(clients[1]->send_line(
+      R"({"v":2,"id":"greedy","method":"map","design_text":"d",)"
+      R"("options":{"threads":9999}})"));
+  {
+    const Response r = read_response(*clients[1]);
+    EXPECT_EQ(r.id, "greedy");
+    EXPECT_EQ(r.status, ResponseStatus::kRejected);
+    EXPECT_NE(r.error.find("threads"), std::string::npos) << r.error;
+    EXPECT_EQ(r.v, 2);
+  }
+
+  // -- stats: request accounting plus the transport section --------------
+  ASSERT_TRUE(clients[2]->send_line(R"({"id":"st","method":"stats"})"));
+  {
+    const Response r = read_response(*clients[2]);
+    ASSERT_TRUE(r.has_stats);
+    EXPECT_EQ(r.stats.accepted, kClients);
+    EXPECT_EQ(r.stats.completed, kClients);
+    EXPECT_EQ(r.stats.rejected, 1);  // "greedy"
+    EXPECT_EQ(r.stats.unknown_field_requests, 1);  // "typo"
+    EXPECT_EQ(r.stats.transport.connections_opened, kClients);
+    EXPECT_EQ(r.stats.transport.shed, 1);
+    // 8 maps + typo ping + rejected map + this stats request.
+    EXPECT_EQ(r.stats.transport.requests, kClients + 3);
+    EXPECT_GT(r.stats.transport.bytes_received, 0);
+    EXPECT_GT(r.stats.transport.bytes_sent, 0);
+  }
+
+  // -- shutdown from one client drains everyone --------------------------
+  ASSERT_TRUE(clients[3]->send_line(R"({"id":"bye","method":"shutdown"})"));
+  {
+    const Response r = read_response(*clients[3]);
+    EXPECT_EQ(r.method, "shutdown");
+    EXPECT_EQ(r.status, ResponseStatus::kOk);
+  }
+  for (int i = 0; i < kClients; ++i) {
+    // Every connection is closed by the draining server: EOF, not a hang.
+    EXPECT_FALSE(
+        clients[static_cast<std::size_t>(i)]->read_line(30.0).has_value())
+        << "client " << i << " still connected after shutdown";
+  }
+  EXPECT_EQ(server.wait_exit(30.0), 0);
+  std::remove(board_file.c_str());
+}
+
+TEST(SocketServer, DeadlineCancelAndV1CompatOverTcp) {
+  if (std::string(GMM_MAPPER_SERVE_PATH).empty()) {
+    GTEST_SKIP() << "mapper_serve path not configured";
+  }
+  ProcessClient server;
+  const std::string endpoint = spawn_listening_server(
+      server, {"--workers", "2"}, "127.0.0.1:0");
+  if (endpoint.empty()) {
+    GTEST_SKIP() << "cannot spawn subprocesses on this platform";
+  }
+  EXPECT_NE(endpoint, "127.0.0.1:0") << "kernel-assigned port not reported";
+
+  const std::string big_board_text = arch::board_to_string(big_board());
+  workload::DesignGenOptions slow_gen;
+  slow_gen.num_segments = 64;
+  slow_gen.seed = 5;
+  const std::string slow_design = design::design_to_string(
+      workload::generate_design(big_board(), slow_gen));
+
+  // -- deadline over TCP: identical to stdin mode ------------------------
+  ProcessClient tardy;
+  ASSERT_TRUE(tardy.connect(endpoint));
+  {
+    JsonObject request;
+    request["id"] = std::string("tardy");
+    request["method"] = std::string("map");
+    request["board_text"] = big_board_text;
+    request["design_text"] = slow_design;
+    request["formulation"] = std::string("complete");
+    request["deadline_ms"] = 150;
+    ASSERT_TRUE(tardy.send_line(Json(std::move(request)).dump()));
+  }
+  EXPECT_EQ(read_response(tardy).status, ResponseStatus::kTimeout);
+
+  // -- cancel from the same connection -----------------------------------
+  ProcessClient dooming;
+  ASSERT_TRUE(dooming.connect(endpoint));
+  {
+    JsonObject request;
+    request["id"] = std::string("doomed");
+    request["method"] = std::string("map");
+    request["board_text"] = big_board_text;
+    request["design_text"] = slow_design;
+    request["formulation"] = std::string("complete");
+    ASSERT_TRUE(dooming.send_line(Json(std::move(request)).dump()));
+    ASSERT_TRUE(dooming.send_line(
+        R"({"id":"c1","method":"cancel","target":"doomed"})"));
+  }
+  {
+    // The cancel ack is synchronous; the cancelled terminal follows.
+    const Response ack = read_response(dooming);
+    EXPECT_EQ(ack.method, "cancel");
+    EXPECT_TRUE(ack.found);
+    EXPECT_EQ(read_response(dooming).status, ResponseStatus::kCancelled);
+  }
+
+  // -- a v1 flat client, byte-compatible: no "v" in its responses --------
+  ProcessClient legacy;
+  ASSERT_TRUE(legacy.connect(endpoint));
+  {
+    workload::DesignGenOptions gen;
+    gen.num_segments = 6;
+    gen.seed = 42;
+    JsonObject request;
+    request["id"] = std::string("v1");
+    request["method"] = std::string("map");
+    request["board_text"] = arch::board_to_string(small_board());
+    request["design_text"] = design::design_to_string(
+        workload::generate_design(small_board(), gen));
+    request["threads"] = 1;
+    ASSERT_TRUE(legacy.send_line(Json(std::move(request)).dump()));
+  }
+  {
+    const auto line = legacy.read_line(kReadTimeout);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->find("\"v\":"), std::string::npos)
+        << "unversioned request must stay byte-compatible: " << *line;
+    Response r;
+    const JsonParseResult parsed = parse_json(*line);
+    ASSERT_TRUE(parsed.ok);
+    ASSERT_TRUE(Response::from_json(parsed.value, r));
+    EXPECT_EQ(r.id, "v1");
+    EXPECT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    EXPECT_EQ(r.v, 0);
+  }
+
+  // -- half-close batch idiom: send, shutdown(WR), then read -------------
+  ProcessClient batch;
+  ASSERT_TRUE(batch.connect(endpoint));
+  ASSERT_TRUE(batch.send_line(R"({"id":"b1","method":"ping"})"));
+  ASSERT_TRUE(batch.send_line(R"({"id":"b2","method":"ping"})"));
+  batch.close_stdin();  // shutdown(SHUT_WR): the server must linger
+  EXPECT_EQ(read_response(batch).id, "b1");
+  EXPECT_EQ(read_response(batch).id, "b2");
+  EXPECT_FALSE(batch.read_line(30.0).has_value());  // then close, not hang
+
+  // -- shutdown ----------------------------------------------------------
+  ProcessClient last;
+  ASSERT_TRUE(last.connect(endpoint));
+  ASSERT_TRUE(last.send_line(R"({"method":"shutdown"})"));
+  EXPECT_EQ(read_response(last).method, "shutdown");
+  EXPECT_EQ(server.wait_exit(30.0), 0);
+}
+
+}  // namespace
+}  // namespace gmm::service

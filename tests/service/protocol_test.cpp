@@ -13,35 +13,135 @@ TEST(Protocol, ParsesMapRequest) {
       R"("threads":4,"deadline_ms":2500})");
   ASSERT_EQ(r.method, Method::kMap);
   EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.version, 0);  // no explicit "v": legacy, response omits it
   EXPECT_EQ(r.map.board_name, "xcv");
   EXPECT_EQ(r.map.design_text, "design d\n");
-  EXPECT_EQ(r.map.threads, 4);
+  EXPECT_EQ(r.map.knobs.threads, 4);
   EXPECT_DOUBLE_EQ(r.map.deadline_ms, 2500.0);
+  EXPECT_TRUE(r.reject_reason.empty());
 }
 
 TEST(Protocol, MapDefaults) {
   const Request r = parse_request_line(
       R"({"id":"r","method":"map","design_path":"/tmp/x.txt"})");
   ASSERT_EQ(r.method, Method::kMap);
-  EXPECT_EQ(r.map.threads, 1);
-  EXPECT_LT(r.map.deadline_ms, 0.0);  // no deadline
+  EXPECT_EQ(r.map.knobs.threads, 1);
+  EXPECT_LT(r.map.knobs.gap, 0.0);             // unset
+  EXPECT_LT(r.map.knobs.max_nodes, 0);         // unset
+  EXPECT_LT(r.map.knobs.time_limit_ms, 0.0);   // unset
+  EXPECT_LT(r.map.deadline_ms, 0.0);           // no deadline
   EXPECT_TRUE(r.map.board_name.empty());
 }
 
 TEST(Protocol, RejectsBadMapRequests) {
-  // Missing id, missing design, both design forms, bad threads/deadline.
+  // Structural failures: missing id, missing design, both design forms,
+  // bad deadline.  These are kInvalid (wire status "error").
   for (const char* line : {
            R"({"method":"map","design_text":"d"})",
            R"({"id":"r","method":"map"})",
            R"({"id":"r","method":"map","design_text":"d","design_path":"p"})",
-           R"({"id":"r","method":"map","design_text":"d","threads":-1})",
-           R"({"id":"r","method":"map","design_text":"d","threads":"four"})",
            R"({"id":"r","method":"map","design_text":"d","deadline_ms":-5})",
        }) {
     const Request r = parse_request_line(line);
     EXPECT_EQ(r.method, Method::kInvalid) << line;
     EXPECT_FALSE(r.error.empty()) << line;
   }
+}
+
+TEST(Protocol, OutOfRangeKnobsRejectNotError) {
+  // Structurally valid requests whose solver knobs are out of range stay
+  // kMap with a reject_reason — the service answers status "rejected",
+  // never solves under a contract the client didn't ask for.
+  for (const char* line : {
+           R"({"id":"r","method":"map","design_text":"d","threads":-1})",
+           R"({"id":"r","method":"map","design_text":"d","threads":"four"})",
+           R"({"v":2,"id":"r","method":"map","design_text":"d",)"
+           R"("options":{"gap":1.5}})",
+           R"({"v":2,"id":"r","method":"map","design_text":"d",)"
+           R"("options":{"max_nodes":0}})",
+           R"({"v":2,"id":"r","method":"map","design_text":"d",)"
+           R"("options":{"time_limit_ms":-3}})",
+           R"({"v":2,"id":"r","method":"map","design_text":"d",)"
+           R"("options":{"max_stored_bases":-1}})",
+           // Unknown keys INSIDE options reject: a silently dropped knob
+           // would change the quality contract.
+           R"({"v":2,"id":"r","method":"map","design_text":"d",)"
+           R"("options":{"gapp":0.1}})",
+           R"({"v":2,"id":"r","method":"map","design_text":"d",)"
+           R"("options":"fast"})",
+       }) {
+    const Request r = parse_request_line(line);
+    EXPECT_EQ(r.method, Method::kMap) << line;
+    EXPECT_FALSE(r.reject_reason.empty()) << line;
+    EXPECT_EQ(r.id, "r") << line;
+  }
+}
+
+TEST(Protocol, ParsesV2Options) {
+  const Request r = parse_request_line(
+      R"({"v":2,"id":"r1","method":"map","design_text":"d","options":)"
+      R"({"gap":0.05,"max_nodes":1000,"time_limit_ms":2500,"threads":3,)"
+      R"("max_stored_bases":64}})");
+  ASSERT_EQ(r.method, Method::kMap);
+  EXPECT_EQ(r.version, 2);
+  EXPECT_TRUE(r.reject_reason.empty()) << r.reject_reason;
+  EXPECT_DOUBLE_EQ(r.map.knobs.gap, 0.05);
+  EXPECT_EQ(r.map.knobs.max_nodes, 1000);
+  EXPECT_DOUBLE_EQ(r.map.knobs.time_limit_ms, 2500.0);
+  EXPECT_EQ(r.map.knobs.threads, 3);
+  EXPECT_EQ(r.map.knobs.max_stored_bases, 64);
+}
+
+TEST(Protocol, OptionsWinOverLegacyThreads) {
+  const Request r = parse_request_line(
+      R"({"v":2,"id":"r1","method":"map","design_text":"d","threads":7,)"
+      R"("options":{"threads":2}})");
+  ASSERT_EQ(r.method, Method::kMap);
+  EXPECT_EQ(r.map.knobs.threads, 2);
+}
+
+TEST(Protocol, VersionValidation) {
+  EXPECT_EQ(parse_request_line(R"({"v":1,"method":"ping"})").version, 1);
+  EXPECT_EQ(parse_request_line(R"({"v":2,"method":"ping"})").version, 2);
+  // Unknown or malformed versions are structural errors, not silently
+  // reinterpreted requests.
+  EXPECT_EQ(parse_request_line(R"({"v":3,"method":"ping"})").method,
+            Method::kInvalid);
+  EXPECT_EQ(parse_request_line(R"({"v":0,"method":"ping"})").method,
+            Method::kInvalid);
+  EXPECT_EQ(parse_request_line(R"({"v":"two","method":"ping"})").method,
+            Method::kInvalid);
+}
+
+TEST(Protocol, UnknownTopLevelFieldsIgnoredButCounted) {
+  const Request r = parse_request_line(
+      R"({"id":"r1","method":"map","design_text":"d","thraeds":4,)"
+      R"("color":"blue"})");
+  ASSERT_EQ(r.method, Method::kMap);  // still a valid request
+  EXPECT_EQ(r.unknown_fields, 2);
+  EXPECT_EQ(r.map.knobs.threads, 1);  // the typo did NOT set threads
+
+  const Request clean = parse_request_line(
+      R"({"id":"r2","method":"map","design_text":"d","threads":4})");
+  EXPECT_EQ(clean.unknown_fields, 0);
+}
+
+TEST(Protocol, ResponseEchoesExplicitVersionOnly) {
+  Response r;
+  r.id = "r1";
+  r.method = "ping";
+  r.status = ResponseStatus::kOk;
+  // Unversioned request (version 0): the wire stays byte-identical to
+  // the v1 protocol — no "v" key at all.
+  EXPECT_EQ(r.to_line().find("\"v\""), std::string::npos);
+  r.v = 2;
+  EXPECT_NE(r.to_line().find("\"v\":2"), std::string::npos);
+
+  const JsonParseResult parsed = parse_json(r.to_line());
+  ASSERT_TRUE(parsed.ok);
+  Response back;
+  ASSERT_TRUE(Response::from_json(parsed.value, back));
+  EXPECT_EQ(back.v, 2);
 }
 
 TEST(Protocol, ErrorKeepsIdForCorrelation) {
@@ -169,6 +269,39 @@ TEST(Protocol, StatsResponseRoundTrips) {
   EXPECT_EQ(back.stats.basis.cold_pop_pivots, 5000);
   // The wire also carries the derived hit rate for humans/dashboards.
   EXPECT_NE(r.to_line().find("\"basis_hit_rate\""), std::string::npos);
+  // Pipe-mode stats never grew a transport section: the object appears
+  // only once a socket front end recorded a connection.
+  EXPECT_EQ(r.to_line().find("\"transport\""), std::string::npos);
+}
+
+TEST(Protocol, TransportStatsRoundTrip) {
+  Response r;
+  r.id = "s1";
+  r.method = "stats";
+  r.status = ResponseStatus::kOk;
+  r.has_stats = true;
+  r.stats.unknown_field_requests = 5;
+  r.stats.transport.connections_opened = 9;
+  r.stats.transport.connections_closed = 4;
+  r.stats.transport.requests = 120;
+  r.stats.transport.bytes_received = 48213;
+  r.stats.transport.bytes_sent = 391245;
+  r.stats.transport.responses_dropped = 2;
+  r.stats.transport.shed = 7;
+
+  const JsonParseResult parsed = parse_json(r.to_line());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  Response back;
+  ASSERT_TRUE(Response::from_json(parsed.value, back));
+  ASSERT_TRUE(back.has_stats);
+  EXPECT_EQ(back.stats.unknown_field_requests, 5);
+  EXPECT_EQ(back.stats.transport.connections_opened, 9);
+  EXPECT_EQ(back.stats.transport.connections_closed, 4);
+  EXPECT_EQ(back.stats.transport.requests, 120);
+  EXPECT_EQ(back.stats.transport.bytes_received, 48213);
+  EXPECT_EQ(back.stats.transport.bytes_sent, 391245);
+  EXPECT_EQ(back.stats.transport.responses_dropped, 2);
+  EXPECT_EQ(back.stats.transport.shed, 7);
 }
 
 TEST(Protocol, ResponseRoundTrips) {

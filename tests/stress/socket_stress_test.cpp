@@ -1,0 +1,236 @@
+// Socket-transport stress (CTest label "stress"; the sanitizer CI lane
+// runs it): spawn one real `mapper_serve --listen` and hammer it with
+// waves of concurrent clients whose behavior is randomized per seed —
+// clean sessions, batch-then-half-close sessions, and clients that
+// DISCONNECT mid-request with solves still in flight.  The server must
+//
+//   * answer every request of every well-behaved client (no lost or
+//     cross-wired responses),
+//   * survive abrupt disconnects (cancelling orphaned work, dropping
+//     orphaned responses) without wedging the remaining clients,
+//   * keep exact admission accounting through the chaos,
+//   * drain and exit 0 at the end,
+//
+// all ASan+UBSan-clean in CI.  Seeds are fixed so a failure reproduces.
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/arch_io.hpp"
+#include "design/design_io.hpp"
+#include "service/json.hpp"
+#include "service/process_client.hpp"
+#include "service/protocol.hpp"
+#include "support/rng.hpp"
+#include "workload/workload_gen.hpp"
+
+namespace gmm::service {
+namespace {
+
+#ifndef GMM_MAPPER_SERVE_PATH
+#define GMM_MAPPER_SERVE_PATH ""
+#endif
+
+constexpr double kReadTimeout = 120.0;
+
+arch::Board stress_board() {
+  return *workload::board_from_totals({.banks = 23, .ports = 45,
+                                       .configs = 100});
+}
+
+std::string random_design_text(support::Rng& rng) {
+  workload::DesignGenOptions gen;
+  gen.num_segments = rng.uniform_int(3, 10);
+  gen.seed = rng.next_u64();
+  return design::design_to_string(
+      workload::generate_design(stress_board(), gen));
+}
+
+/// One client session; returns false only on a contract violation (a
+/// well-behaved client missing a response).  `deserter` sessions close
+/// the socket with requests still in flight — the server owes them
+/// nothing, but must not wedge.
+bool run_session(const std::string& endpoint, std::uint64_t seed,
+                 bool deserter, std::atomic<int>& failures) {
+  support::Rng rng(seed);
+  ProcessClient client;
+  if (!client.connect(endpoint)) {
+    ++failures;
+    ADD_FAILURE() << "seed " << seed << ": cannot connect";
+    return false;
+  }
+  const int requests = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<std::string> expected;
+  for (int i = 0; i < requests; ++i) {
+    const std::string id =
+        "s" + std::to_string(seed) + "-" + std::to_string(i);
+    JsonObject request;
+    const int profile = static_cast<int>(rng.uniform_int(0, 5));
+    if (profile == 5) {
+      // A knob the server must reject — still exactly one response.
+      request["v"] = 2;
+      request["id"] = id;
+      request["method"] = std::string("map");
+      request["design_text"] = std::string("d");
+      JsonObject options;
+      options["gap"] = 2.0;
+      request["options"] = Json(std::move(options));
+    } else {
+      request["id"] = id;
+      request["method"] = std::string("map");
+      request["design_text"] = random_design_text(rng);
+      if (profile == 1) {
+        // Tight deadline: timeout and ok both legal, response mandatory.
+        request["deadline_ms"] = rng.uniform_int(0, 25);
+      }
+      if (profile == 2) request["v"] = 2;
+    }
+    if (!client.send_line(Json(std::move(request)).dump())) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": send failed";
+      return false;
+    }
+    expected.push_back(id);
+  }
+  if (deserter) {
+    // Vanish mid-request: maybe half-close first, maybe just destruct
+    // (both fd halves close; the server sees EOF/EPIPE at some point
+    // between admission, solve, and response write).
+    if (rng.bernoulli(0.5)) client.close_stdin();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng.uniform_int(0, 3000)));
+    return true;  // the ProcessClient destructor slams the socket
+  }
+  if (rng.bernoulli(0.5)) client.close_stdin();  // batch idiom
+  std::size_t got = 0;
+  while (got < expected.size()) {
+    const auto line = client.read_line(kReadTimeout);
+    if (!line.has_value()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": missing "
+                    << (expected.size() - got) << " response(s)";
+      return false;
+    }
+    const JsonParseResult parsed = parse_json(*line);
+    Response response;
+    if (!parsed.ok || !Response::from_json(parsed.value, response) ||
+        response.method != "map") {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": bad response " << *line;
+      return false;
+    }
+    // Routing: only OUR ids may arrive on this connection, each once.
+    bool known = false;
+    for (std::size_t i = got; i < expected.size(); ++i) {
+      if (expected[i] == response.id) {
+        std::swap(expected[got], expected[i]);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": foreign/duplicate response "
+                    << response.id;
+      return false;
+    }
+    ++got;
+  }
+  return true;
+}
+
+TEST(SocketStress, ConcurrentClientsWithRandomDisconnects) {
+  if (std::string(GMM_MAPPER_SERVE_PATH).empty()) {
+    GTEST_SKIP() << "mapper_serve path not configured";
+  }
+  const std::string board_file = "socket_stress_test_board.txt";
+  {
+    std::ofstream out(board_file);
+    ASSERT_TRUE(out.good());
+    arch::write_board(out, stress_board());
+  }
+  long pid = 0;
+#ifndef _WIN32
+  pid = static_cast<long>(::getpid());
+#endif
+  const std::string socket_path =
+      "/tmp/gmm_stress_" + std::to_string(pid) + ".sock";
+  ProcessClient server;
+  if (!server.start(GMM_MAPPER_SERVE_PATH,
+                    {board_file, "--workers", "4", "--queue", "32",
+                     "--listen", socket_path})) {
+    GTEST_SKIP() << "cannot spawn subprocesses on this platform";
+  }
+  const auto listening = server.read_line(kReadTimeout);
+  ASSERT_TRUE(listening.has_value()) << "no listening event";
+
+  constexpr int kWaves = 3;
+  constexpr int kClientsPerWave = 12;
+  std::atomic<int> failures{0};
+  support::Rng seeder(20260808);
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    threads.reserve(kClientsPerWave);
+    for (int c = 0; c < kClientsPerWave; ++c) {
+      const std::uint64_t seed = seeder.next_u64() % 1'000'000;
+      // A third of each wave deserts mid-request.
+      const bool deserter = c % 3 == 0;
+      threads.emplace_back([&, seed, deserter] {
+        run_session(socket_path, seed, deserter, failures);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // The server must still be fully alive: exact accounting via a final
+  // well-behaved client.  Every admitted request got a terminal status
+  // (completed counts all of accepted, including deserters' orphans).
+  ProcessClient audit;
+  ASSERT_TRUE(audit.connect(socket_path));
+  Response stats;
+  for (int attempt = 0;; ++attempt) {
+    const std::string id = "audit" + std::to_string(attempt);
+    ASSERT_TRUE(audit.send_line(
+        R"({"id":")" + id + R"(","method":"stats"})"));
+    const auto line = audit.read_line(kReadTimeout);
+    ASSERT_TRUE(line.has_value()) << "server wedged after stress";
+    const JsonParseResult parsed = parse_json(*line);
+    ASSERT_TRUE(parsed.ok) << *line;
+    ASSERT_TRUE(Response::from_json(parsed.value, stats)) << *line;
+    ASSERT_TRUE(stats.has_stats);
+    // Deserters' orphaned solves are cancelled asynchronously; give the
+    // workers a moment to emit those terminal responses before holding
+    // the books to account.
+    if (stats.stats.accepted == stats.stats.completed || attempt >= 200) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(stats.stats.accepted, stats.stats.completed)
+      << "orphaned requests never terminated";
+  EXPECT_EQ(stats.stats.transport.connections_opened,
+            kWaves * kClientsPerWave + 1);
+  EXPECT_GE(stats.stats.transport.connections_closed,
+            kWaves * kClientsPerWave - 1);
+  EXPECT_GT(stats.stats.transport.requests, 0);
+  ASSERT_TRUE(audit.send_line(R"({"method":"shutdown"})"));
+  const auto ack = audit.read_line(kReadTimeout);
+  EXPECT_TRUE(ack.has_value()) << "no shutdown ack";
+  EXPECT_EQ(server.wait_exit(60.0), 0);
+  std::remove(board_file.c_str());
+}
+
+}  // namespace
+}  // namespace gmm::service
