@@ -7,6 +7,8 @@
 //   --workers N        concurrent mapping workers (default 1; 0 = hardware)
 //   --queue N          admission bound, queued + in-flight (default 64)
 //   --threads N        max B&B workers a request may ask for (default 8)
+//   --cache N          solution-cache capacity in entries (default 128;
+//                      0 disables the cache entirely)
 //   --listen SPEC      serve socket clients instead of stdin/stdout:
 //                      a path ("/tmp/gmm.sock") is a Unix-domain socket,
 //                      "host:port" is TCP ("localhost:0" = kernel-assigned
@@ -40,7 +42,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [board-file]... [--workers N] [--queue N] "
-               "[--threads N] [--listen SPEC] [--max-clients N] "
+               "[--threads N] [--cache N] [--listen SPEC] [--max-clients N] "
                "[--connect SPEC] [--verbose]\n",
                argv0);
   return 2;
@@ -73,6 +75,9 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       options.max_threads_per_solve = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1'000'000, value)) return usage(argv[0]);
+      options.cache_capacity = static_cast<std::size_t>(value);
     } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       socket_options.listen = argv[++i];
     } else if (std::strcmp(argv[i], "--max-clients") == 0 && i + 1 < argc) {

@@ -78,19 +78,29 @@ SOCKET_OUT="$("$SERVE" --connect "$SOCK" <<EOF
 {"id":"tally-sock","method":"stats"}
 EOF
 )"
+# ---- solution cache -------------------------------------------------------
+# The same design resubmitted through two SEPARATE client sessions: the
+# server's fingerprint-keyed solution cache must replay the second one
+# ("cached":true) with the identical mapping cost, no new solve.
+COLD_OUT="$(printf '{"id":"repeat-cold","method":"map","design_path":"%s"}\n' \
+    "$DATA/design_histogram.txt" | "$SERVE" --connect "$SOCK")"
+WARM_OUT="$(printf '{"id":"repeat-warm","method":"map","design_path":"%s"}\n' \
+    "$DATA/design_histogram.txt" | "$SERVE" --connect "$SOCK")"
+
 SHUTDOWN_OUT="$(printf '{"method":"shutdown"}\n' | "$SERVE" --connect "$SOCK")"
 wait "$SERVER_PID"
 trap - EXIT
 rm -f "$SOCK"
 
-printf '%s\n%s\n' "$SOCKET_OUT" "$SHUTDOWN_OUT"
+printf '%s\n%s\n%s\n%s\n' "$SOCKET_OUT" "$COLD_OUT" "$WARM_OUT" "$SHUTDOWN_OUT"
 
 if [ -z "$SOCKET_OUT" ]; then
   echo "serve_demo: no responses over the socket" >&2
   exit 1
 fi
 for check in '"status":"error"'; do
-  if printf '%s\n' "$SOCKET_OUT$SHUTDOWN_OUT" | grep -q "$check"; then
+  if printf '%s\n' "$SOCKET_OUT$COLD_OUT$WARM_OUT$SHUTDOWN_OUT" \
+      | grep -q "$check"; then
     echo "serve_demo: a socket response carried $check (see above)" >&2
     exit 1
   fi
@@ -102,5 +112,20 @@ if ! printf '%s\n' "$SOCKET_OUT" | grep -q '"id":"tuned".*"v":2\|"v":2.*"id":"tu
 fi
 if printf '%s\n' "$SOCKET_OUT" | grep '"id":"legacy"' | grep -q '"v":'; then
   echo "serve_demo: the legacy v1 response grew a \"v\" key" >&2
+  exit 1
+fi
+# The resubmission must be a verified cache replay at the same cost.
+if printf '%s\n' "$COLD_OUT" | grep -q '"cached":true'; then
+  echo "serve_demo: the FIRST request claimed a cache hit" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$WARM_OUT" | grep -q '"cached":true'; then
+  echo "serve_demo: the repeated request was not served from the cache" >&2
+  exit 1
+fi
+COLD_COST="$(printf '%s\n' "$COLD_OUT" | sed -n 's/.*"objective":\([^,}]*\).*/\1/p')"
+WARM_COST="$(printf '%s\n' "$WARM_OUT" | sed -n 's/.*"objective":\([^,}]*\).*/\1/p')"
+if [ -z "$COLD_COST" ] || [ "$COLD_COST" != "$WARM_COST" ]; then
+  echo "serve_demo: cached replay cost '$WARM_COST' != cold cost '$COLD_COST'" >&2
   exit 1
 fi

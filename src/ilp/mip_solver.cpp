@@ -714,6 +714,18 @@ MipResult Search::run() {
     root_refactorizations = root_engine->stats().refactorizations;
   }
 
+  // ---- MIP start --------------------------------------------------------
+  // Seed the incumbent BEFORE the first node so best-first pruning (and
+  // the queued-node prune check) bite immediately.  offer_incumbent
+  // validates the candidate, so a stale or infeasible start degrades to
+  // a no-op instead of corrupting the search.
+  if (static_cast<Index>(options_.mip_start.size()) == original_.num_vars() &&
+      original_.num_vars() > 0) {
+    offer_incumbent(options_.mip_start);
+    result_.mip_start_used =
+        incumbent_snapshot_.load(std::memory_order_relaxed) < kInf;
+  }
+
   // ---- root ------------------------------------------------------------
   push_open(-kInf, nullptr);
 
@@ -790,6 +802,18 @@ double MipResult::gap() const {
 MipSolver::MipSolver(MipOptions options) : options_(std::move(options)) {}
 
 MipResult MipSolver::solve(const lp::Model& model) {
+  if (!options_.pinned_vars.empty()) {
+    // Pins collapse bounds on a COPY so the caller's model is untouched.
+    // The Search then validates incumbents (including the MIP start)
+    // against the pinned model, so a start conflicting with a pin is
+    // rejected rather than smuggled past the pins.
+    lp::Model pinned = model;
+    for (const auto& [j, v] : options_.pinned_vars) {
+      if (j >= 0 && j < pinned.num_vars()) pinned.set_var_bounds(j, v, v);
+    }
+    Search search(pinned, options_);
+    return search.run();
+  }
   Search search(model, options_);
   return search.run();
 }

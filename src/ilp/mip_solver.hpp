@@ -94,6 +94,21 @@ struct MipOptions {
   /// interrupts even a single long LP solve.  Both are polled at node
   /// boundaries — two relaxed atomic loads, free at our node rates.
   std::shared_ptr<const support::CancelToken> cancel_token;
+  /// Optional warm incumbent ("MIP start") in ORIGINAL variable space,
+  /// installed at the root before any node solves so best-first pruning
+  /// bites from node one.  The start is validated against the model like
+  /// any other incumbent candidate; an infeasible or wrong-length start
+  /// is silently ignored.  A start only ever SEEDS the incumbent — it
+  /// never constrains the search — so it cannot change the proved
+  /// optimal objective, only the node count reaching it.
+  std::vector<double> mip_start;
+  /// Hard variable pins (index, value) applied to a copy of the model
+  /// before solving: both bounds collapse onto the value.  Unlike the
+  /// MIP start these genuinely constrain the search — the solver proves
+  /// the optimum of the PINNED model (incremental re-solves use this to
+  /// freeze unchanged structures and re-optimize only the delta).
+  /// Out-of-range indices are ignored.
+  std::vector<std::pair<lp::Index, double>> pinned_vars;
 };
 
 struct MipResult {
@@ -116,6 +131,9 @@ struct MipResult {
   /// snapshots stored/loaded/evicted plus the dual-pivot split between
   /// warm-started and cold heap pops.
   lp::BasisCacheStats basis;
+  /// The MipOptions::mip_start validated feasible and seeded the root
+  /// incumbent (false when no start was given or it failed validation).
+  bool mip_start_used = false;
   double seconds = 0.0;
 
   [[nodiscard]] bool has_incumbent() const { return !x.empty(); }

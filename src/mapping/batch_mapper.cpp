@@ -15,7 +15,8 @@ BatchResult map_batch(support::ThreadPool& pool,
     const BatchItem& item = items[i];
     GMM_ASSERT(item.design != nullptr && item.board != nullptr,
                "map_batch item with null design or board");
-    batch.results[i] = map_pipeline(*item.design, *item.board, options);
+    batch.results[i] = map_pipeline(*item.design, *item.board,
+                                    item.options ? *item.options : options);
   });
   for (const PipelineResult& r : batch.results) {
     if (r.status == lp::SolveStatus::kOptimal ||

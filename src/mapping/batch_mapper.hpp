@@ -28,6 +28,11 @@ namespace gmm::mapping {
 struct BatchItem {
   const design::Design* design = nullptr;
   const arch::Board* board = nullptr;
+  /// Per-item override of the batch-wide options (null = use the batch
+  /// default).  The shard-repair loop uses this to warm-start re-solves
+  /// of changed parts with the previous round's assignment.  Must outlive
+  /// the map_batch call.
+  const PipelineOptions* options = nullptr;
 };
 
 struct BatchResult {

@@ -32,11 +32,24 @@ GlobalResult map_global(const design::Design& design,
   std::vector<std::vector<lp::Index>> z(num_ds,
                                         std::vector<lp::Index>(num_types,
                                                                lp::kInvalidIndex));
+  // Migration penalties (incremental re-solve): moving structure d off
+  // its prior type costs extra, steering the delta re-optimization toward
+  // minimal-disturbance remaps.  The penalty lives only in the model's
+  // objective; the reported assignment objective is recomputed as the
+  // pure mapping cost below so cold and warm solves stay comparable.
+  const bool migration_active =
+      options.migration_penalty > 0.0 &&
+      options.warm_assignment.size() == num_ds;
   for (std::size_t d = 0; d < num_ds; ++d) {
     bool any = false;
     for (std::size_t t = 0; t < num_types; ++t) {
       if (!table.feasible(d, t)) continue;
-      z[d][t] = model.add_binary(table.cost(d, t),
+      double coef = table.cost(d, t);
+      if (migration_active && options.warm_assignment[d] >= 0 &&
+          static_cast<std::size_t>(options.warm_assignment[d]) != t) {
+        coef += options.migration_penalty;
+      }
+      z[d][t] = model.add_binary(coef,
                                  "z." + std::to_string(d) + "." +
                                      std::to_string(t));
       any = true;
@@ -208,6 +221,38 @@ GlobalResult map_global(const design::Design& design,
     };
   }
 
+  // ---- warm start + pins (incremental re-solve) ---------------------------
+  // The prior mapping seeds the B&B incumbent; pinned structures collapse
+  // onto their prior type so the ILP proves the optimum over the delta
+  // only.  Any entry referencing an infeasible pair voids the warm start
+  // (a partial start would be infeasible anyway) and skips that pin.
+  if (options.warm_assignment.size() == num_ds) {
+    std::vector<double> start(static_cast<std::size_t>(model.num_vars()),
+                              0.0);
+    bool complete = true;
+    for (std::size_t d = 0; d < num_ds && complete; ++d) {
+      const int t = options.warm_assignment[d];
+      if (t < 0 || static_cast<std::size_t>(t) >= num_types ||
+          z[d][t] == lp::kInvalidIndex) {
+        complete = false;
+        break;
+      }
+      start[z[d][t]] = 1.0;
+    }
+    if (complete) mip_options.mip_start = std::move(start);
+    for (const std::size_t d : options.pinned_structures) {
+      if (d >= num_ds) continue;
+      const int t = options.warm_assignment[d];
+      if (t < 0 || static_cast<std::size_t>(t) >= num_types ||
+          z[d][t] == lp::kInvalidIndex) {
+        continue;
+      }
+      // Pinning Z_dt = 1 plus the uniqueness row forces the structure's
+      // remaining variables to 0; no explicit zero-pins needed.
+      mip_options.pinned_vars.emplace_back(z[d][t], 1.0);
+    }
+  }
+
   // ---- solve --------------------------------------------------------------
   timer.reset();
   result.mip = ilp::solve_mip(model, mip_options);
@@ -232,7 +277,10 @@ GlobalResult map_global(const design::Design& design,
     GMM_ASSERT(result.assignment.type_of[d] >= 0,
                "structure left unassigned by an incumbent solution");
   }
-  result.assignment.objective = result.mip.objective;
+  result.assignment.objective =
+      migration_active
+          ? table.assignment_objective(result.assignment.type_of)
+          : result.mip.objective;
   return result;
 }
 

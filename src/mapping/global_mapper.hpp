@@ -31,6 +31,23 @@ struct GlobalOptions {
   /// retry loop): for each entry S, add sum_{(d,t) in S} Z_dt <= |S| - 1,
   /// forbidding that exact co-assignment from recurring.
   std::vector<std::vector<std::pair<std::size_t, std::size_t>>> no_good_cuts;
+  /// Prior assignment (type index per structure, -1 = unknown) injected as
+  /// a MIP start: the B&B root starts with the prior mapping's cost as its
+  /// incumbent and prunes from node one.  A start never constrains the
+  /// search, so the proved objective is unchanged — only the node count.
+  /// Entries referencing infeasible (d, t) pairs void the whole start.
+  std::vector<int> warm_assignment;
+  /// Structures pinned to their prior type (index into the design; the
+  /// type is taken from warm_assignment).  Pins DO constrain the search:
+  /// the ILP proves the optimum over the unpinned delta only, which is
+  /// the incremental-re-solve contract.  Requires warm_assignment.
+  std::vector<std::size_t> pinned_structures;
+  /// Per-structure cost added to every Z_dt with t != warm_assignment[d]
+  /// (0 = off).  Steers the delta re-solve toward minimal-disturbance
+  /// remaps; the reported assignment objective is still the PURE mapping
+  /// cost (recomputed from the cost table), so objectives stay comparable
+  /// with cold solves.
+  double migration_penalty = 0.0;
 };
 
 struct GlobalResult {

@@ -1,6 +1,7 @@
 #include "mapping/shard_mapper.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <numeric>
 #include <string>
@@ -316,6 +317,18 @@ ShardResult map_sharded(support::ThreadPool& pool,
     return key;
   };
 
+  // Last solved assignment per (part index, device), keyed by global
+  // structure index.  A migration changes two parts; their next-round
+  // re-solves miss the candidate_cache, but the surviving structures
+  // keep their prior types — which seeds the B&B as a MIP start so the
+  // re-solve prunes from node one.  Starts never constrain the search,
+  // so the per-candidate objectives (and the deterministic sharded
+  // objective) are unchanged; only node counts drop.
+  std::map<std::string, std::map<std::size_t, int>> last_assignment;
+  const auto warm_key = [](std::size_t part, std::size_t dev) {
+    return std::to_string(part) + "|" + std::to_string(dev);
+  };
+
   const char* infeasible_reason = "repair round budget exhausted";
   for (int round = 0; round <= options.max_repair_rounds; ++round) {
     if (stopped()) return out;
@@ -392,6 +405,7 @@ ShardResult map_sharded(support::ThreadPool& pool,
     std::vector<const PipelineResult*> results(candidates.size(), nullptr);
     std::vector<std::size_t> uncached;
     std::vector<BatchItem> items;
+    std::deque<PipelineOptions> warm_options;  // stable addresses for items
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       const Candidate& cand = candidates[c];
       const auto it = candidate_cache.find(
@@ -400,8 +414,28 @@ ShardResult map_sharded(support::ThreadPool& pool,
         results[c] = &it->second;
       } else {
         uncached.push_back(c);
-        items.push_back(
-            {.design = &subs[cand.part], .board = &views[cand.dev]});
+        BatchItem item{.design = &subs[cand.part], .board = &views[cand.dev]};
+        const auto prior = last_assignment.find(warm_key(cand.part, cand.dev));
+        if (prior != last_assignment.end()) {
+          std::vector<int> warm(members[cand.part].size(), -1);
+          bool complete = true;
+          for (std::size_t j = 0; j < members[cand.part].size(); ++j) {
+            const auto type = prior->second.find(members[cand.part][j]);
+            if (type == prior->second.end()) {
+              // A freshly migrated-in structure has no prior type here; a
+              // partial start cannot validate, so solve this one cold.
+              complete = false;
+              break;
+            }
+            warm[j] = type->second;
+          }
+          if (complete) {
+            warm_options.push_back(options.pipeline);
+            warm_options.back().global.warm_assignment = std::move(warm);
+            item.options = &warm_options.back();
+          }
+        }
+        items.push_back(item);
       }
     }
     BatchResult batch = map_batch(pool, items, options.pipeline);
@@ -409,10 +443,22 @@ ShardResult map_sharded(support::ThreadPool& pool,
     for (std::size_t i = 0; i < uncached.size(); ++i) {
       const Candidate& cand = candidates[uncached[i]];
       accumulate(out.total_effort, batch.results[i].effort);
+      if (batch.results[i].mip.mip_start_used) ++out.stats.warm_started;
       // std::map nodes are stable, so the pointer survives later inserts.
       results[uncached[i]] =
           &(candidate_cache[candidate_key(members[cand.part], cand.dev)] =
                 std::move(batch.results[i]));
+    }
+    // Refresh the per-(part, device) prior assignments for the next round.
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (results[c] == nullptr || !solved(*results[c])) continue;
+      const Candidate& cand = candidates[c];
+      std::map<std::size_t, int>& prior =
+          last_assignment[warm_key(cand.part, cand.dev)];
+      prior.clear();
+      for (std::size_t j = 0; j < members[cand.part].size(); ++j) {
+        prior[members[cand.part][j]] = results[c]->assignment.type_of[j];
+      }
     }
     if (stopped()) return out;
 

@@ -72,6 +72,9 @@ struct ShardStats {
   int repair_rounds = 0;     // migration rounds the repair loop ran
   std::int64_t migrations = 0;        // structures moved between parts
   std::int64_t candidate_solves = 0;  // per-device pipelines executed
+  /// Candidate solves whose B&B was seeded with the previous round's
+  /// assignment for the same (part, device) pair (MIP start accepted).
+  std::int64_t warm_started = 0;
   std::int64_t cut_edges = 0;    // conflict edges crossing devices
   double stitch_cost = 0.0;      // weighted inter-device transfer term
   double stitch_seconds = 0.0;   // top-level assignment ILP wall clock

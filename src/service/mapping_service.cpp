@@ -4,13 +4,19 @@
 #include <sstream>
 #include <utility>
 
+#include <cmath>
+
 #include "arch/arch_io.hpp"
 #include "design/design_io.hpp"
 #include "mapping/complete_mapper.hpp"
+#include "mapping/cost_model.hpp"
 #include "mapping/pipeline.hpp"
+#include "mapping/remap.hpp"
 #include "mapping/shard_mapper.hpp"
+#include "mapping/validate.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/timer.hpp"
 
 namespace gmm::service {
 
@@ -46,13 +52,39 @@ ResponseStatus classify(lp::SolveStatus status,
   }
 }
 
+/// Resolve a detailed mapping's fragments into wire placement rows.
+void append_placements(Response& response, const design::Design& design,
+                       const arch::Board& board,
+                       const mapping::DetailedMapping& detailed) {
+  response.placements.reserve(detailed.fragments.size());
+  for (const mapping::PlacedFragment& f : detailed.fragments) {
+    const arch::BankType& type = board.type(f.type);
+    PlacementEntry entry;
+    entry.segment = design.at(f.ds).name;
+    entry.type = type.name;
+    entry.instance = f.instance;
+    entry.first_port = f.first_port;
+    entry.ports = f.ports;
+    if (f.config_index >= 0 &&
+        f.config_index < static_cast<int>(type.configs.size())) {
+      entry.config =
+          type.configs[static_cast<std::size_t>(f.config_index)].to_string();
+    }
+    entry.offset_bits = f.offset_bits;
+    entry.block_bits = f.block_bits;
+    entry.kind = mapping::to_string(f.kind);
+    response.placements.push_back(std::move(entry));
+  }
+}
+
 }  // namespace
 
 MappingService::MappingService(std::vector<arch::Board> boards,
                                ServiceOptions options, ResponseSink sink)
     : boards_(std::move(boards)),
       options_(options),
-      sink_(std::move(sink)) {
+      sink_(std::move(sink)),
+      cache_(options.cache_capacity) {
   GMM_ASSERT(sink_ != nullptr, "MappingService needs a response sink");
   for (std::size_t i = 0; i < boards_.size(); ++i) {
     board_index_.emplace(boards_[i].name(), i);
@@ -69,8 +101,17 @@ const arch::Board* MappingService::find_board(const std::string& name) const {
 }
 
 ServiceStats MappingService::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  ServiceStats out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out = stats_;
+  }
+  // Gauges owned by the cache itself (its own lock; read after mutex_ so
+  // they can only run AHEAD of the outcome counters, never behind).
+  out.cache.insertions = cache_.insertions();
+  out.cache.evictions = cache_.evictions();
+  out.cache.entries = static_cast<std::int64_t>(cache_.size());
+  return out;
 }
 
 void MappingService::drain() {
@@ -215,6 +256,10 @@ void MappingService::run_map(const std::string& id, int version,
   if (token->should_stop()) {
     response.status = token->cancelled() ? ResponseStatus::kCancelled
                                          : ResponseStatus::kTimeout;
+    {
+      const std::scoped_lock lock(mutex_);
+      ++stats_.cache.bypasses;  // never reached the cache
+    }
     finish(std::move(response));
     return;
   }
@@ -222,6 +267,10 @@ void MappingService::run_map(const std::string& id, int version,
   const auto bail = [&](std::string message) {
     response.status = ResponseStatus::kError;
     response.error = std::move(message);
+    {
+      const std::scoped_lock lock(mutex_);
+      ++stats_.cache.bypasses;  // failed before the cache was consulted
+    }
     finish(std::move(response));
   };
 
@@ -262,6 +311,98 @@ void MappingService::run_map(const std::string& id, int version,
   // The one shared mapping from wire knobs onto MipOptions (gap,
   // node/time budgets, basis cache, threads clamped to the server cap).
   apply_solver_knobs(request.knobs, options_.max_threads_per_solve, mip);
+
+  // ---- solution cache: exact-hit replay ----------------------------------
+  // Sharded solves bypass the cache entirely: their objective includes
+  // the stitch transfer term, which the replay verifier cannot recompute
+  // from a single-board CostTable.
+  const bool cacheable =
+      cache_.enabled() && !request.sharded && !request.knobs.no_cache;
+  RequestFingerprint fp;
+  std::vector<std::size_t> type_by_rank;    // canonical rank -> flat index
+  std::optional<CacheEntry> prior;          // near-miss seed (global path)
+  bool verify_failed = false;
+  bool near_miss = false;
+  if (cacheable) {
+    support::WallTimer replay_timer;
+    fp = fingerprint_request(design, *board,
+                             request.complete ? CachedFormulation::kComplete
+                                              : CachedFormulation::kGlobal,
+                             mip.rel_gap);  // the EFFECTIVE gap after knobs
+    type_by_rank.resize(board->num_types());
+    for (std::size_t t = 0; t < board->num_types(); ++t) {
+      type_by_rank[fp.type_rank[t]] = t;
+    }
+    if (std::optional<CacheEntry> hit = cache_.find(fp.full)) {
+      // Replay through the canonical permutations, then RE-VERIFY against
+      // THIS request's design and board: a fingerprint collision (or a
+      // poisoned entry) degrades to a verify-fail miss, never a wrong
+      // answer.
+      mapping::GlobalAssignment replayed;
+      mapping::DetailedMapping mapped;
+      bool ok = hit->num_structures == design.size() &&
+                hit->num_types == board->num_types() &&
+                hit->type_of_by_rank.size() == design.size();
+      if (ok) {
+        std::vector<std::size_t> ds_by_rank(design.size());
+        for (std::size_t d = 0; d < design.size(); ++d) {
+          ds_by_rank[fp.structure_rank[d]] = d;
+        }
+        replayed.type_of.assign(design.size(), -1);
+        for (std::size_t d = 0; d < design.size() && ok; ++d) {
+          const int tr = hit->type_of_by_rank[fp.structure_rank[d]];
+          ok = tr >= 0 && tr < static_cast<int>(board->num_types());
+          if (ok) {
+            replayed.type_of[d] =
+                static_cast<int>(type_by_rank[static_cast<std::size_t>(tr)]);
+          }
+        }
+        for (const mapping::PlacedFragment& f : hit->fragments_by_rank) {
+          if (!ok) break;
+          ok = f.ds < design.size() && f.type < board->num_types();
+          if (ok) {
+            mapping::PlacedFragment placed = f;
+            placed.ds = ds_by_rank[f.ds];
+            placed.type = type_by_rank[f.type];
+            mapped.fragments.push_back(placed);
+          }
+        }
+        mapped.success = ok;
+      }
+      if (ok) {
+        ok = mapping::validate_mapping(design, *board, replayed, mapped)
+                 .empty();
+      }
+      if (ok) {
+        const mapping::CostTable table(design, *board);
+        replayed.objective = table.assignment_objective(replayed.type_of);
+        ok = std::abs(replayed.objective - hit->objective) <=
+             1e-6 * std::max(1.0, std::abs(hit->objective));
+      }
+      if (ok) {
+        {
+          const std::scoped_lock lock(mutex_);
+          ++stats_.cache.hits;
+        }
+        response.status = ResponseStatus::kOk;
+        response.has_result = true;
+        response.cached = true;
+        response.solve_status = hit->solve_status;
+        response.objective = replayed.objective;
+        response.nodes = 0;
+        response.seconds = replay_timer.seconds();
+        response.retries = hit->retries;
+        append_placements(response, design, *board, mapped);
+        finish(std::move(response));
+        return;
+      }
+      // Poison the colliding key: left in place it would verify-fail on
+      // every future resubmission of this request.
+      cache_.erase(fp.full);
+      verify_failed = true;
+    }
+    if (!request.complete) prior = cache_.find_structural(fp.structural);
+  }
 
   // Every formulation lands in the same (status, assignment, detailed,
   // effort, mip) shape; retries and the shard counters are specific to
@@ -317,8 +458,42 @@ void MappingService::run_map(const std::string& id, int version,
   } else {
     mapping::PipelineOptions options;
     options.global.mip = mip;
-    mapping::PipelineResult result =
-        mapping::map_pipeline(design, *board, options);
+    mapping::PipelineResult result;
+    bool warm_solved = false;
+    if (prior.has_value() && prior->num_structures == design.size() &&
+        prior->num_types == board->num_types() &&
+        prior->type_of_by_rank.size() == design.size()) {
+      // NEAR MISS: same structure/board/contract, different traffic.
+      // Re-solve incrementally from the cached assignment — B&B seeded
+      // with the prior mapping, traffic-unchanged structures pinned, a
+      // small migration term biasing toward stability (remap.hpp).  The
+      // result is NOT inserted back: its optimality proof is for the
+      // pinned model, and the cache only serves unconstrained proofs.
+      std::vector<int> prior_type_of(design.size(), -1);
+      mapping::RemapOptions remap_options;
+      remap_options.pipeline = options;
+      remap_options.migration_penalty = options_.near_miss_migration_penalty;
+      bool aligned = true;
+      for (std::size_t d = 0; d < design.size() && aligned; ++d) {
+        const std::size_t r = fp.structure_rank[d];
+        const int tr = prior->type_of_by_rank[r];
+        aligned = tr >= 0 && tr < static_cast<int>(board->num_types());
+        if (!aligned) break;
+        prior_type_of[d] =
+            static_cast<int>(type_by_rank[static_cast<std::size_t>(tr)]);
+        if (fp.param_hash_by_rank[r] == prior->param_hash_by_rank[r]) {
+          remap_options.pinned_structures.push_back(d);
+        }
+      }
+      if (aligned) {
+        mapping::RemapResult warm =
+            mapping::remap(design, *board, prior_type_of, remap_options);
+        result = std::move(warm.result);
+        near_miss = true;
+        warm_solved = true;
+      }
+    }
+    if (!warm_solved) result = mapping::map_pipeline(design, *board, options);
     status = result.status;
     assignment = std::move(result.assignment);
     detailed = std::move(result.detailed);
@@ -344,6 +519,15 @@ void MappingService::run_map(const std::string& id, int version,
       ++stats_.sharded_requests;
       stats_.shard_solves += shard_stats.candidate_solves;
     }
+    // The request consulted the cache and a solve ran anyway: a miss
+    // (near_misses / verify_fails break the misses down further).
+    if (cacheable) {
+      ++stats_.cache.misses;
+      if (near_miss) ++stats_.cache.near_misses;
+      if (verify_failed) ++stats_.cache.verify_fails;
+    } else {
+      ++stats_.cache.bypasses;
+    }
   }
 
   response.status = classify(status, mip_result);
@@ -367,25 +551,48 @@ void MappingService::run_map(const std::string& id, int version,
     response.error =
         "solver failed: " + std::string(lp::to_string(status));
   }
-  if (detailed.success) {
-    response.placements.reserve(detailed.fragments.size());
-    for (const mapping::PlacedFragment& f : detailed.fragments) {
-      const arch::BankType& type = board->type(f.type);
-      PlacementEntry entry;
-      entry.segment = design.at(f.ds).name;
-      entry.type = type.name;
-      entry.instance = f.instance;
-      entry.first_port = f.first_port;
-      entry.ports = f.ports;
-      if (f.config_index >= 0 &&
-          f.config_index < static_cast<int>(type.configs.size())) {
-        entry.config =
-            type.configs[static_cast<std::size_t>(f.config_index)].to_string();
+  if (detailed.success) append_placements(response, design, *board, detailed);
+
+  // Insert only fully PROVED cold results: solve status optimal AND the
+  // B&B ran to its proof (stop_reason optimal), so node/time budgets
+  // never need to join the fingerprint and a replay is exactly what a
+  // fresh solve would return.  Near-miss results stay out — their proof
+  // is for the pinned model.
+  if (cacheable && !near_miss && status == SolveStatus::kOptimal &&
+      mip_result.stop_reason == SolveStatus::kOptimal && detailed.success &&
+      assignment.complete() && assignment.type_of.size() == design.size()) {
+    CacheEntry entry;
+    entry.key = fp.full;
+    entry.structural = fp.structural;
+    entry.num_structures = design.size();
+    entry.num_types = board->num_types();
+    entry.type_of_by_rank.assign(design.size(), -1);
+    bool canonical = true;
+    for (std::size_t d = 0; d < design.size() && canonical; ++d) {
+      const int t = assignment.type_of[d];
+      canonical = t >= 0 && t < static_cast<int>(board->num_types());
+      if (canonical) {
+        entry.type_of_by_rank[fp.structure_rank[d]] =
+            static_cast<int>(fp.type_rank[static_cast<std::size_t>(t)]);
       }
-      entry.offset_bits = f.offset_bits;
-      entry.block_bits = f.block_bits;
-      entry.kind = mapping::to_string(f.kind);
-      response.placements.push_back(std::move(entry));
+    }
+    entry.fragments_by_rank.reserve(detailed.fragments.size());
+    for (const mapping::PlacedFragment& f : detailed.fragments) {
+      if (!canonical) break;
+      canonical = f.ds < design.size() && f.type < board->num_types();
+      if (canonical) {
+        mapping::PlacedFragment canon = f;
+        canon.ds = fp.structure_rank[f.ds];
+        canon.type = fp.type_rank[f.type];
+        entry.fragments_by_rank.push_back(canon);
+      }
+    }
+    if (canonical) {
+      entry.param_hash_by_rank = fp.param_hash_by_rank;
+      entry.objective = assignment.objective;
+      entry.retries = response.retries;
+      entry.solve_status = lp::to_string(status);
+      cache_.insert(std::move(entry));
     }
   }
   finish(std::move(response));

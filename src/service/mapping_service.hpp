@@ -14,6 +14,12 @@
 //   * cooperative CANCELLATION — a cancel request flips the token, which
 //     aborts an in-flight solve at its next node boundary and keeps a
 //     queued request from ever starting;
+//   * a fingerprint-keyed SOLUTION CACHE — an exact resubmission replays
+//     a previously PROVED mapping (re-verified against this request)
+//     instead of solving, and a traffic-only mutation re-solves
+//     incrementally from the cached assignment via mapping::remap
+//     (see service/solution_cache.hpp; per-request opt-out with
+//     options.no_cache, disable with cache_capacity = 0);
 //   * graceful DRAIN — drain() blocks until every admitted request has
 //     emitted its terminal response, which is also the shutdown path.
 //
@@ -37,6 +43,7 @@
 
 #include "arch/board.hpp"
 #include "service/protocol.hpp"
+#include "service/solution_cache.hpp"
 #include "support/cancellation.hpp"
 #include "support/thread_pool.hpp"
 
@@ -50,6 +57,14 @@ struct ServiceOptions {
   std::size_t max_pending = 64;
   /// Upper bound accepted for a request's "threads" field.
   int max_threads_per_solve = 8;
+  /// Solution-cache capacity in entries (LRU); 0 disables the cache —
+  /// every request then solves cold and counts as a bypass.
+  std::size_t cache_capacity = 128;
+  /// Migration-cost term for near-miss incremental re-solves: structures
+  /// pay this much for leaving their cached bank type, biasing the delta
+  /// solve toward the stable prior assignment.  The REPORTED objective
+  /// stays pure (the penalty only steers the search); 0 disables it.
+  double near_miss_migration_penalty = 1e-3;
 };
 
 // ServiceStats (request accounting + aggregate solver counters) lives in
@@ -98,6 +113,9 @@ class MappingService {
   std::map<std::string, std::size_t> board_index_;
   ServiceOptions options_;
   ResponseSink sink_;
+  /// Fingerprint-keyed store of proved mappings (internally locked; never
+  /// taken while holding mutex_'s critical sections that sink responses).
+  SolutionCache cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;

@@ -172,6 +172,7 @@ Json Response::to_json() const {
     object["nodes"] = nodes;
     object["seconds"] = seconds;
     object["retries"] = retries;
+    if (cached) object["cached"] = true;
     if (shards > 0) {
       object["shards"] = static_cast<std::int64_t>(shards);
       object["stitch_cost"] = stitch_cost;
@@ -214,6 +215,16 @@ Json Response::to_json() const {
     solver["cold_pop_pivots"] = stats.basis.cold_pop_pivots;
     solver["basis_hit_rate"] = stats.basis.hit_rate();
     object["solver"] = std::move(solver);
+    JsonObject cache;
+    cache["hits"] = stats.cache.hits;
+    cache["misses"] = stats.cache.misses;
+    cache["bypasses"] = stats.cache.bypasses;
+    cache["near_misses"] = stats.cache.near_misses;
+    cache["verify_fails"] = stats.cache.verify_fails;
+    cache["insertions"] = stats.cache.insertions;
+    cache["evictions"] = stats.cache.evictions;
+    cache["entries"] = stats.cache.entries;
+    object["cache"] = std::move(cache);
     // Only a socket-fronted server has transport traffic; the pipe mode
     // keeps its legacy wire shape.
     if (stats.transport.connections_opened > 0) {
@@ -264,6 +275,7 @@ bool Response::from_json(const Json& value, Response& out) {
     out.nodes = static_cast<std::int64_t>(value.get_number("nodes", 0.0));
     out.seconds = value.get_number("seconds", 0.0);
     out.retries = static_cast<int>(value.get_number("retries", 0.0));
+    out.cached = value.get_bool("cached", false);
     out.shards = static_cast<int>(value.get_number("shards", 0.0));
     out.stitch_cost = value.get_number("stitch_cost", 0.0);
     const Json* rows = value.find("placements");
@@ -315,6 +327,20 @@ bool Response::from_json(const Json& value, Response& out) {
       out.stats.basis.cold_pops = scount("cold_pops");
       out.stats.basis.warm_pop_pivots = scount("warm_pop_pivots");
       out.stats.basis.cold_pop_pivots = scount("cold_pop_pivots");
+    }
+    const Json* cache = value.find("cache");
+    if (cache != nullptr && cache->is_object()) {
+      const auto ccount = [cache](const char* key) {
+        return static_cast<std::int64_t>(cache->get_number(key, 0.0));
+      };
+      out.stats.cache.hits = ccount("hits");
+      out.stats.cache.misses = ccount("misses");
+      out.stats.cache.bypasses = ccount("bypasses");
+      out.stats.cache.near_misses = ccount("near_misses");
+      out.stats.cache.verify_fails = ccount("verify_fails");
+      out.stats.cache.insertions = ccount("insertions");
+      out.stats.cache.evictions = ccount("evictions");
+      out.stats.cache.entries = ccount("entries");
     }
     const Json* transport = value.find("transport");
     if (transport != nullptr && transport->is_object()) {

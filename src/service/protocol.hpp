@@ -14,7 +14,7 @@
 // Requests:
 //   {"v":2,"id":"r1","method":"map","design_text":"...",
 //    "options":{"gap":0.01,"max_nodes":100000,"time_limit_ms":5000,
-//               "threads":2,"max_stored_bases":1024}, ...}
+//               "threads":2,"max_stored_bases":1024,"no_cache":true}, ...}
 //     fields: "board" (catalog name; default = first loaded board),
 //             "board_text" (inline board, overrides "board"),
 //             "design_text" | "design_path" (exactly one required),
@@ -48,7 +48,13 @@
 //   partial result when the stopped solve had an incumbent.  A "sharded"
 //   map additionally reports "shards" (per-device sub-mappings stitched
 //   together) and "stitch_cost" (the weighted inter-device transfer term
-//   included in "objective").
+//   included in "objective").  A map answered from the solution cache
+//   carries "cached":true (absent otherwise): the mapping replays a
+//   previously PROVED solve of a fingerprint-identical request,
+//   re-verified against this request's design and board, so "objective"
+//   and "placements" are exactly what a fresh solve would return while
+//   "nodes"/"seconds" report the (near-zero) replay work.  Requests opt
+//   out with options.no_cache — solve cold, insert nothing.
 //
 //   {"id":"s1","method":"stats","status":"ok","accepted":3,"rejected":0,
 //    "completed":3,"cancelled":0,"timed_out":1,"unknown_field_requests":0,
@@ -57,6 +63,8 @@
 //              "bases_stored":64,"bases_loaded":60,"bases_evicted":0,
 //              "cold_pops":4,"warm_pop_pivots":95,"cold_pop_pivots":310,
 //              "basis_hit_rate":0.9375},
+//    "cache":{"hits":9,"misses":3,"bypasses":1,"near_misses":2,
+//             "verify_fails":0,"insertions":3,"evictions":0,"entries":3},
 //    "transport":{"connections_opened":9,"connections_closed":1,
 //                 "requests":120,"bytes_received":48213,
 //                 "bytes_sent":391245,"responses_dropped":0,"shed":4}}
@@ -120,6 +128,29 @@ struct ServiceStats {
   std::int64_t sharded_requests = 0;
   std::int64_t shard_solves = 0;
   lp::BasisCacheStats basis;       // warm-start cache counters
+
+  /// Solution-cache counters (the `cache` wire object).  Every ACCEPTED
+  /// map request lands in exactly one of hits/misses/bypasses at its
+  /// terminal response, so hits + misses + bypasses == completed map
+  /// requests once the service is idle — the invariant the stress tests
+  /// audit.
+  struct Cache {
+    std::int64_t hits = 0;    // exact replays served without a solve
+    /// Cache consulted, no replay served: plain misses, near-miss warm
+    /// re-solves, and verify failures all solve (warm or cold) and land
+    /// here.
+    std::int64_t misses = 0;
+    /// Never consulted: options.no_cache, cache disabled (capacity 0),
+    /// sharded formulation (its stitched objective cannot be re-verified
+    /// by replay), or the request errored/cancelled before fingerprinting.
+    std::int64_t bypasses = 0;
+    std::int64_t near_misses = 0;   // subset of misses: warm remap ran
+    std::int64_t verify_fails = 0;  // subset of misses: replay failed check
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;       // gauge: entries currently stored
+  };
+  Cache cache;
 
   /// Socket-transport counters, folded in by the socket server (all zero
   /// in stdin/stdout mode; the wire omits the "transport" object then).
@@ -223,6 +254,9 @@ struct Response {
   std::int64_t nodes = 0;
   double seconds = 0.0;
   int retries = 0;
+  /// True when the mapping was replayed from the solution cache instead
+  /// of solved; serialized as "cached":true and omitted otherwise.
+  bool cached = false;
   // Sharded-formulation extras (serialized only when shards > 0): number
   // of per-device sub-mappings stitched, and the inter-device transfer
   // cost already included in `objective`.

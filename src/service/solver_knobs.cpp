@@ -73,7 +73,7 @@ bool parse_solver_knobs(const Json& request, SolverKnobs& out,
   for (const auto& [key, value] : options->as_object()) {
     (void)value;
     if (key != "gap" && key != "max_nodes" && key != "time_limit_ms" &&
-        key != "threads" && key != "max_stored_bases") {
+        key != "threads" && key != "max_stored_bases" && key != "no_cache") {
       reject_reason = "unknown solver knob '" + key + "' in 'options'";
       return false;
     }
@@ -104,6 +104,14 @@ bool parse_solver_knobs(const Json& request, SolverKnobs& out,
                 reject_reason)) {
     return false;
   }
+  const Json* no_cache = options->find("no_cache");
+  if (no_cache != nullptr) {
+    if (!no_cache->is_bool()) {
+      reject_reason = "'no_cache' must be a boolean";
+      return false;
+    }
+    out.no_cache = no_cache->as_bool();
+  }
   return true;
 }
 
@@ -131,6 +139,7 @@ Json solver_knobs_to_json(const SolverKnobs& knobs) {
   if (knobs.max_stored_bases >= 0) {
     object["max_stored_bases"] = knobs.max_stored_bases;
   }
+  if (knobs.no_cache) object["no_cache"] = true;
   return Json(std::move(object));
 }
 

@@ -43,6 +43,10 @@ struct SolverKnobs {
   /// LP basis warm-start cache size, in [0, kMaxStoredBases]; 0 disables
   /// the cache.  Unset keeps MipOptions' 4096.
   std::int64_t max_stored_bases = -1;
+  /// Bypass the service's solution cache for this request: always solve
+  /// cold, never insert the result.  A service-layer knob — it does not
+  /// touch MipOptions (apply_solver_knobs ignores it).
+  bool no_cache = false;
 
   /// Accepted ranges (rejecting, not clamping, beyond them).
   static constexpr std::int64_t kMaxNodes = 50'000'000;

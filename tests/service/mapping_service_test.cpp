@@ -301,13 +301,15 @@ TEST(MappingService, StatsMethodReportsRequestAndSolverCounters) {
     EXPECT_EQ(responses[0].stats.nodes, 0);
   }
 
-  // Two solves plus one pre-expired deadline (never reaches the solver).
+  // One cold solve, one exact resubmission (a cache replay, not a
+  // solve), and one pre-expired deadline (never reaches the solver).
   service.handle(map_request("a", quick_design_text()));
   service.handle(map_request("b", quick_design_text()));
   service.handle(map_request("late", quick_design_text(), 0.0));
   service.drain();
   EXPECT_EQ(out.only("a").status, ResponseStatus::kOk);
   EXPECT_EQ(out.only("b").status, ResponseStatus::kOk);
+  EXPECT_TRUE(out.only("b").cached);
   EXPECT_EQ(out.only("late").status, ResponseStatus::kTimeout);
 
   stats_request.id = "s1";
@@ -319,10 +321,15 @@ TEST(MappingService, StatsMethodReportsRequestAndSolverCounters) {
   EXPECT_EQ(stats.stats.accepted, 3);
   EXPECT_EQ(stats.stats.completed, 3);
   EXPECT_EQ(stats.stats.timed_out, 1);
-  // Solver totals count only the requests that actually solved.
-  EXPECT_EQ(stats.stats.solves, 2);
-  EXPECT_GE(stats.stats.nodes, 2);
+  // Solver totals count only the requests that actually solved: the
+  // replayed resubmission never touches the solver counters.
+  EXPECT_EQ(stats.stats.solves, 1);
+  EXPECT_GE(stats.stats.nodes, 1);
   EXPECT_GT(stats.stats.lp_iterations, 0);
+  // Every admitted map request lands in exactly one cache bucket.
+  EXPECT_EQ(stats.stats.cache.hits, 1);
+  EXPECT_EQ(stats.stats.cache.misses, 1);
+  EXPECT_EQ(stats.stats.cache.bypasses, 1);  // the pre-expired deadline
   EXPECT_LE(stats.stats.basis.loaded + stats.stats.basis.evicted,
             stats.stats.basis.stored);
   // Matches the programmatic accessor the serve loop logs from.

@@ -1,0 +1,331 @@
+// Solution-cache stress (CTest label "stress"; the sanitizer CI lane
+// runs it): one real `mapper_serve --listen` under waves of concurrent
+// clients drawing from a SHARED pool of designs — verbatim repeats (cache
+// hits), traffic-only mutations (near-miss incremental re-solves),
+// no_cache opt-outs, cancel storms, tight deadlines, and mid-request
+// deserters.  The books must balance through the chaos:
+//
+//   * every well-behaved client gets exactly its own responses,
+//   * hits + misses + bypasses == accepted once the server drains (every
+//     accepted map request lands in exactly one cache-outcome bucket),
+//   * a cached replay carries "cached":true with the cold objective,
+//   * no_cache requests are never served from (or inserted into) the
+//     cache,
+//
+// all ASan+UBSan-clean in CI.  Seeds are fixed so a failure reproduces.
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/arch_io.hpp"
+#include "design/design.hpp"
+#include "design/design_io.hpp"
+#include "service/json.hpp"
+#include "service/process_client.hpp"
+#include "service/protocol.hpp"
+#include "support/rng.hpp"
+#include "workload/workload_gen.hpp"
+
+namespace gmm::service {
+namespace {
+
+#ifndef GMM_MAPPER_SERVE_PATH
+#define GMM_MAPPER_SERVE_PATH ""
+#endif
+
+constexpr double kReadTimeout = 120.0;
+
+arch::Board stress_board() {
+  return *workload::board_from_totals({.banks = 23, .ports = 45,
+                                       .configs = 100});
+}
+
+/// Shared pool of base designs: a small, fixed set so concurrent clients
+/// collide on the same fingerprints (that is the point of the test).
+constexpr int kPoolSize = 6;
+
+design::Design pool_design(int slot) {
+  workload::DesignGenOptions gen;
+  gen.num_segments = 4 + slot;
+  gen.seed = 7'000 + static_cast<std::uint64_t>(slot);
+  return workload::generate_design(stress_board(), gen);
+}
+
+std::string pool_design_text(int slot) {
+  return design::design_to_string(pool_design(slot));
+}
+
+/// The same design with one structure's read count bumped — identical
+/// shape and conflicts, different traffic: the near-miss profile.  A
+/// small fixed set of bumps per slot so mutants repeat across clients
+/// too (a repeated mutant is an exact hit of the mutant's fingerprint).
+std::string mutated_design_text(int slot, int bump) {
+  design::Design design = pool_design(slot);
+  design::Design out(design.name());
+  for (std::size_t d = 0; d < design.size(); ++d) {
+    design::DataStructure ds = design.at(d);
+    if (d == 0) ds.reads = ds.effective_reads() + 100 * (1 + bump);
+    out.add(ds);
+  }
+  for (const auto& [a, b] : design.conflict_pairs()) out.add_conflict(a, b);
+  return design::design_to_string(out);
+}
+
+bool run_session(const std::string& endpoint, std::uint64_t seed,
+                 bool deserter, std::atomic<int>& failures,
+                 std::atomic<int>& no_cache_sent) {
+  support::Rng rng(seed);
+  ProcessClient client;
+  if (!client.connect(endpoint)) {
+    ++failures;
+    ADD_FAILURE() << "seed " << seed << ": cannot connect";
+    return false;
+  }
+  const int requests = static_cast<int>(rng.uniform_int(2, 5));
+  std::vector<std::string> expected;
+  int sent_no_cache = 0;
+  for (int i = 0; i < requests; ++i) {
+    const int slot = static_cast<int>(rng.uniform_int(0, kPoolSize - 1));
+    const int profile = static_cast<int>(rng.uniform_int(0, 5));
+    // no_cache ids carry a "-nc" suffix so the response loop can assert
+    // an opt-out request is never served from the cache.
+    const std::string id = "c" + std::to_string(seed) + "-" +
+                           std::to_string(i) + (profile == 3 ? "-nc" : "");
+    JsonObject request;
+    request["v"] = 2;
+    request["id"] = id;
+    request["method"] = std::string("map");
+    switch (profile) {
+      case 0:
+      case 1:  // verbatim repeat from the shared pool (hits after first)
+        request["design_text"] = pool_design_text(slot);
+        break;
+      case 2:  // traffic-only mutant (near miss, or hit of the mutant)
+        request["design_text"] = mutated_design_text(
+            slot, static_cast<int>(rng.uniform_int(0, 1)));
+        break;
+      case 3: {  // opt-out: must bypass, never replay
+        request["design_text"] = pool_design_text(slot);
+        JsonObject options;
+        options["no_cache"] = true;
+        request["options"] = Json(std::move(options));
+        ++sent_no_cache;
+        break;
+      }
+      case 4:  // tight deadline: timeout/cancelled/ok all legal
+        request["design_text"] = pool_design_text(slot);
+        request["deadline_ms"] = rng.uniform_int(0, 20);
+        break;
+      case 5:  // cancel storm: map then cancel it immediately
+        request["design_text"] = pool_design_text(slot);
+        break;
+    }
+    if (!client.send_line(Json(std::move(request)).dump())) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": send failed";
+      return false;
+    }
+    expected.push_back(id);
+    if (profile == 5) {
+      JsonObject cancel;
+      cancel["id"] = "x" + id;
+      cancel["method"] = std::string("cancel");
+      cancel["target"] = id;
+      if (!client.send_line(Json(std::move(cancel)).dump())) {
+        ++failures;
+        ADD_FAILURE() << "seed " << seed << ": cancel send failed";
+        return false;
+      }
+      expected.push_back("x" + id);  // the cancel ack
+    }
+  }
+  if (deserter) {
+    if (rng.bernoulli(0.5)) client.close_stdin();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng.uniform_int(0, 3000)));
+    return true;  // destructor slams the socket mid-flight
+  }
+  no_cache_sent += sent_no_cache;  // only well-behaved clients count
+  if (rng.bernoulli(0.5)) client.close_stdin();
+  std::size_t got = 0;
+  while (got < expected.size()) {
+    const auto line = client.read_line(kReadTimeout);
+    if (!line.has_value()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": missing "
+                    << (expected.size() - got) << " response(s)";
+      return false;
+    }
+    const JsonParseResult parsed = parse_json(*line);
+    Response response;
+    if (!parsed.ok || !Response::from_json(parsed.value, response)) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": bad response " << *line;
+      return false;
+    }
+    bool known = false;
+    for (std::size_t i = got; i < expected.size(); ++i) {
+      if (expected[i] == response.id) {
+        std::swap(expected[got], expected[i]);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": foreign/duplicate response "
+                    << response.id;
+      return false;
+    }
+    // A no_cache request must never be served from the cache, and cancel
+    // acks never carry a mapping at all.
+    if (response.cached && (response.method == "cancel" ||
+                            response.id.ends_with("-nc"))) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << ": " << response.id
+                    << " served from cache despite opting out";
+      return false;
+    }
+    ++got;
+  }
+  return true;
+}
+
+TEST(CacheStress, RepeatMutateCancelStormsKeepExactAccounting) {
+  if (std::string(GMM_MAPPER_SERVE_PATH).empty()) {
+    GTEST_SKIP() << "mapper_serve path not configured";
+  }
+  const std::string board_file = "cache_stress_test_board.txt";
+  {
+    std::ofstream out(board_file);
+    ASSERT_TRUE(out.good());
+    arch::write_board(out, stress_board());
+  }
+  long pid = 0;
+#ifndef _WIN32
+  pid = static_cast<long>(::getpid());
+#endif
+  const std::string socket_path =
+      "/tmp/gmm_cache_stress_" + std::to_string(pid) + ".sock";
+  ProcessClient server;
+  if (!server.start(GMM_MAPPER_SERVE_PATH,
+                    {board_file, "--workers", "4", "--queue", "64",
+                     "--cache", "64", "--listen", socket_path})) {
+    GTEST_SKIP() << "cannot spawn subprocesses on this platform";
+  }
+  const auto listening = server.read_line(kReadTimeout);
+  ASSERT_TRUE(listening.has_value()) << "no listening event";
+
+  constexpr int kWaves = 3;
+  constexpr int kClientsPerWave = 10;
+  std::atomic<int> failures{0};
+  std::atomic<int> no_cache_sent{0};
+  support::Rng seeder(1'308'2026);
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    threads.reserve(kClientsPerWave);
+    for (int c = 0; c < kClientsPerWave; ++c) {
+      const std::uint64_t seed = seeder.next_u64() % 1'000'000;
+      const bool deserter = c % 4 == 0;  // a quarter deserts mid-request
+      threads.emplace_back([&, seed, deserter] {
+        run_session(socket_path, seed, deserter, failures, no_cache_sent);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Deterministic replay coverage through a final well-behaved client:
+  // a fresh design solves cold, its repeat replays cached with the same
+  // objective, and its traffic mutant takes the near-miss path.
+  ProcessClient audit;
+  ASSERT_TRUE(audit.connect(socket_path));
+  const auto map_once = [&](const std::string& id,
+                            const std::string& design_text) {
+    JsonObject request;
+    request["v"] = 2;
+    request["id"] = id;
+    request["method"] = std::string("map");
+    request["design_text"] = design_text;
+    EXPECT_TRUE(audit.send_line(Json(std::move(request)).dump()));
+    const auto line = audit.read_line(kReadTimeout);
+    Response response;
+    EXPECT_TRUE(line.has_value()) << "no response for " << id;
+    if (line.has_value()) {
+      const JsonParseResult parsed = parse_json(*line);
+      EXPECT_TRUE(parsed.ok && Response::from_json(parsed.value, response))
+          << *line;
+    }
+    return response;
+  };
+  const std::string fresh =
+      "design auditd\n"
+      "segment a depth 64 width 8 reads 123\n"
+      "segment b depth 128 width 4 writes 77\n"
+      "conflicts all\n";
+  const Response cold = map_once("audit-cold", fresh);
+  ASSERT_EQ(cold.status, ResponseStatus::kOk) << cold.error;
+  EXPECT_FALSE(cold.cached);
+  const Response warm = map_once("audit-warm", fresh);
+  ASSERT_EQ(warm.status, ResponseStatus::kOk) << warm.error;
+  EXPECT_TRUE(warm.cached);
+  EXPECT_DOUBLE_EQ(warm.objective, cold.objective);
+  const Response mutant = map_once("audit-mutant",
+                                   "design auditd\n"
+                                   "segment a depth 64 width 8 reads 999\n"
+                                   "segment b depth 128 width 4 writes 77\n"
+                                   "conflicts all\n");
+  ASSERT_EQ(mutant.status, ResponseStatus::kOk) << mutant.error;
+  EXPECT_FALSE(mutant.cached);
+
+  // The books: poll until every admitted request has terminated, then
+  // every accepted map request must sit in exactly one outcome bucket.
+  Response stats;
+  for (int attempt = 0;; ++attempt) {
+    const std::string id = "audit-stats" + std::to_string(attempt);
+    ASSERT_TRUE(audit.send_line(
+        R"({"id":")" + id + R"(","method":"stats"})"));
+    const auto line = audit.read_line(kReadTimeout);
+    ASSERT_TRUE(line.has_value()) << "server wedged after stress";
+    const JsonParseResult parsed = parse_json(*line);
+    ASSERT_TRUE(parsed.ok) << *line;
+    ASSERT_TRUE(Response::from_json(parsed.value, stats)) << *line;
+    ASSERT_TRUE(stats.has_stats);
+    if (stats.stats.accepted == stats.stats.completed || attempt >= 200) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const ServiceStats::Cache& cache = stats.stats.cache;
+  EXPECT_EQ(stats.stats.accepted, stats.stats.completed)
+      << "orphaned requests never terminated";
+  EXPECT_EQ(cache.hits + cache.misses + cache.bypasses, stats.stats.accepted)
+      << "cache accounting leaked a request";
+  EXPECT_GE(cache.hits, 1);               // the audit replay at minimum
+  EXPECT_GE(cache.near_misses, 1);        // the audit mutant at minimum
+  EXPECT_LE(cache.near_misses, cache.misses);
+  EXPECT_LE(cache.verify_fails, cache.misses);
+  EXPECT_GE(cache.bypasses, no_cache_sent.load())
+      << "a no_cache request was served from the cache";
+  EXPECT_GE(cache.insertions, 1);
+  EXPECT_GE(cache.entries, 1);
+
+  ASSERT_TRUE(audit.send_line(R"({"method":"shutdown"})"));
+  const auto ack = audit.read_line(kReadTimeout);
+  EXPECT_TRUE(ack.has_value()) << "no shutdown ack";
+  EXPECT_EQ(server.wait_exit(60.0), 0);
+  std::remove(board_file.c_str());
+}
+
+}  // namespace
+}  // namespace gmm::service
