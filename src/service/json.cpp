@@ -289,6 +289,13 @@ void dump_string(const std::string& s, std::string& out) {
 }
 
 void dump_number(double value, std::string& out) {
+  // JSON has no NaN/Inf literal; "%.17g" would print "nan"/"inf" and
+  // corrupt the whole line.  A non-finite ratio (e.g. a 0/0 stat) dumps
+  // as null, which readers decode as absent/0 instead of a parse error.
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
   // Integral doubles in the exact range print as integers so counts and
   // ids round-trip without a spurious ".0"/exponent.
   if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {

@@ -435,6 +435,20 @@ void SocketServer::dispatch_buffered_lines() {
   while (any && budget > 0 && !shutting_down_) {
     any = false;
     // One rotation over all connections, starting at next_turn_.
+    //
+    // Cursor-safety audit (disconnect during a connection's own
+    // dispatch slot): dispatch_line can mark ANY connection dead —
+    // its own (write failure in a synchronous response) or a peer's
+    // (shutdown broadcast) — but never erases from conns_; erasure
+    // happens only in sweep_closed(), which run() calls strictly after
+    // this function returns.  The id snapshot below therefore stays
+    // valid for the whole rotation, the conns_.find(id) re-lookup per
+    // slot skips anything that died mid-rotation instead of touching a
+    // dangling iterator, and next_turn_ = id + 1 advances past the
+    // served id even when that very connection drops in its own slot —
+    // no id is visited twice in a rotation and none is skipped, so
+    // per-client request accounting stays exact under disconnect
+    // storms (pinned by SocketStress.DisconnectStormAccountingExact).
     std::vector<std::uint64_t> order;
     order.reserve(conns_.size());
     for (auto it = conns_.lower_bound(next_turn_); it != conns_.end(); ++it) {

@@ -293,9 +293,23 @@ void SolutionCache::erase(const Fingerprint& key) {
 
 void SolutionCache::unindex_structural(const Lru::iterator it) {
   const auto st = structural_index_.find(it->structural);
-  if (st != structural_index_.end() && st->second == it->key) {
-    structural_index_.erase(st);
+  if (st == structural_index_.end() || st->second != it->key) return;
+  // The departing entry owns the structural slot.  Erasing the slot
+  // outright would orphan any *surviving* entries that share the same
+  // structural fingerprint (same conflict graph, different traffic):
+  // a near-miss lookup after an eviction or a poisoning erase would
+  // then miss even though a usable prior mapping is still cached.
+  // Repoint the slot at the most-recently-used survivor instead, and
+  // erase it only when no entry with this structural fingerprint
+  // remains.
+  for (auto other = lru_.begin(); other != lru_.end(); ++other) {
+    if (other == it) continue;
+    if (other->structural == it->structural) {
+      st->second = other->key;
+      return;
+    }
   }
+  structural_index_.erase(st);
 }
 
 std::size_t SolutionCache::size() const {

@@ -73,7 +73,8 @@ bool parse_solver_knobs(const Json& request, SolverKnobs& out,
   for (const auto& [key, value] : options->as_object()) {
     (void)value;
     if (key != "gap" && key != "max_nodes" && key != "time_limit_ms" &&
-        key != "threads" && key != "max_stored_bases" && key != "no_cache") {
+        key != "threads" && key != "max_stored_bases" && key != "no_cache" &&
+        key != "lanes") {
       reject_reason = "unknown solver knob '" + key + "' in 'options'";
       return false;
     }
@@ -86,8 +87,12 @@ bool parse_solver_knobs(const Json& request, SolverKnobs& out,
                 "[1, 50000000]", present, out.max_nodes, reject_reason)) {
     return false;
   }
+  // The lower bound is kMinTimeLimitMs, not 0: time_limit_ms = 0 is
+  // ambiguous on the wire ("no time" vs "no limit") and a knob that
+  // silently became "unlimited" would be the worst failure mode, so the
+  // boundary is reject-not-clamp like every other knob.
   double time_limit = 0.0;
-  if (!knob_number(*options, "time_limit_ms", 1.0,
+  if (!knob_number(*options, "time_limit_ms", SolverKnobs::kMinTimeLimitMs,
                    SolverKnobs::kMaxTimeLimitMs, "[1, 3600000]", present,
                    time_limit, reject_reason)) {
     return false;
@@ -112,6 +117,12 @@ bool parse_solver_knobs(const Json& request, SolverKnobs& out,
     }
     out.no_cache = no_cache->as_bool();
   }
+  std::int64_t lanes = 0;
+  if (!knob_int(*options, "lanes", 1, SolverKnobs::kMaxLanes, "[1, 6]",
+                present, lanes, reject_reason)) {
+    return false;
+  }
+  if (present) out.lanes = static_cast<int>(lanes);
   return true;
 }
 
@@ -120,6 +131,12 @@ void apply_solver_knobs(const SolverKnobs& knobs, int max_threads_per_solve,
   if (knobs.gap >= 0.0) mip.rel_gap = knobs.gap;
   if (knobs.max_nodes >= 0) mip.node_limit = knobs.max_nodes;
   if (knobs.time_limit_ms >= 0.0) {
+    // Boundary contract: any SET value — including a programmatic 0.0,
+    // which the wire parser never admits — becomes a finite budget.
+    // time_limit_seconds = 0.0 is an already-expired budget (the solver
+    // stops with kTimeLimit at its first limits check); it must never
+    // silently fall through to MipOptions' "no limit" default (kInf).
+    // Only the unset sentinel (< 0) keeps the infinite default.
     mip.time_limit_seconds = knobs.time_limit_ms / 1000.0;
   }
   if (knobs.max_stored_bases >= 0) {
@@ -140,6 +157,7 @@ Json solver_knobs_to_json(const SolverKnobs& knobs) {
     object["max_stored_bases"] = knobs.max_stored_bases;
   }
   if (knobs.no_cache) object["no_cache"] = true;
+  if (knobs.lanes >= 1) object["lanes"] = knobs.lanes;
   return Json(std::move(object));
 }
 

@@ -33,9 +33,16 @@ struct SolverKnobs {
   double gap = -1.0;
   /// Branch & bound node budget, in [1, kMaxNodes].
   std::int64_t max_nodes = -1;
-  /// Solve wall-clock budget in milliseconds, in (0, kMaxTimeLimitMs].
-  /// Unlike the request-level "deadline_ms" (whose clock starts at
-  /// admission, so queue wait counts), this budgets the SOLVE only.
+  /// Solve wall-clock budget in milliseconds, in
+  /// [kMinTimeLimitMs, kMaxTimeLimitMs].  Unlike the request-level
+  /// "deadline_ms" (whose clock starts at admission, so queue wait
+  /// counts), this budgets the SOLVE only.  The wire parser REJECTS
+  /// values below kMinTimeLimitMs — 0 in particular is ambiguous
+  /// ("no time" vs "no limit") and is never accepted.  Programmatic
+  /// callers that set 0.0 directly get an already-expired budget
+  /// (time_limit_seconds = 0.0 → the solver stops with kTimeLimit at
+  /// its first check); only the unset sentinel (< 0) keeps MipOptions'
+  /// infinite default.
   double time_limit_ms = -1.0;
   /// B&B workers for this solve, in [0, kMaxThreads]; 0 = the server's
   /// per-solve cap.  Always further clamped to that cap.
@@ -47,12 +54,19 @@ struct SolverKnobs {
   /// cold, never insert the result.  A service-layer knob — it does not
   /// touch MipOptions (apply_solver_knobs ignores it).
   bool no_cache = false;
+  /// Portfolio lane count for the "portfolio" formulation, in
+  /// [1, kMaxLanes].  Rejected (not clamped) out of range; ignored by
+  /// the other formulations.  A service-layer knob — apply_solver_knobs
+  /// ignores it.  Unset (< 0) means the service default (3 lanes).
+  int lanes = -1;
 
   /// Accepted ranges (rejecting, not clamping, beyond them).
   static constexpr std::int64_t kMaxNodes = 50'000'000;
+  static constexpr double kMinTimeLimitMs = 1.0;
   static constexpr double kMaxTimeLimitMs = 3'600'000.0;  // one hour
   static constexpr int kMaxThreads = 1024;
   static constexpr std::int64_t kMaxStoredBases = 1'048'576;
+  static constexpr int kMaxLanes = 6;
 };
 
 /// Parse the knobs a map request carries: the nested "options" object

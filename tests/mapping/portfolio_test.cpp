@@ -1,0 +1,162 @@
+// Portfolio racing determinism wall.
+//
+// The contracts under test (see portfolio.hpp):
+//  * a 1-lane portfolio is bitwise-identical to calling the lane's
+//    mapper directly — the child cancel token only adds polls, which
+//    never alter the search path — across pool worker counts;
+//  * with N lanes at gap 0, WHOEVER wins proves the same optimum, so
+//    the returned objective equals the plain pipeline's, across worker
+//    counts;
+//  * a pre-cancelled parent token stops every lane before it starts;
+//  * a pre-expired parent deadline surfaces as kTimeLimit, not as a
+//    cancellation.
+#include "mapping/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mapping/pipeline.hpp"
+#include "support/cancellation.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/table3_suite.hpp"
+
+namespace gmm::mapping {
+namespace {
+
+workload::Table3Instance small_instance() {
+  return workload::build_instance(workload::table3_points()[1]);
+}
+
+PipelineOptions gap0_options() {
+  PipelineOptions options;
+  options.global.mip.rel_gap = 0.0;
+  options.global.mip.abs_gap = 0.0;
+  return options;
+}
+
+TEST(Portfolio, OneLaneBitwiseIdenticalToPlainPipeline) {
+  const workload::Table3Instance instance = small_instance();
+  const PipelineOptions options = gap0_options();
+  const PipelineResult plain =
+      map_pipeline(instance.design, instance.board, options);
+  ASSERT_EQ(plain.status, lp::SolveStatus::kOptimal);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    support::ThreadPool pool(workers);
+    PortfolioOptions race;
+    race.lanes.push_back(
+        {.name = "global", .kind = LaneKind::kGlobal, .pipeline = options});
+    const PortfolioResult r =
+        solve_portfolio(pool, instance.design, instance.board, race);
+
+    ASSERT_EQ(r.winner, 0) << "workers " << workers;
+    EXPECT_EQ(r.winner_name, "global");
+    EXPECT_EQ(r.status, plain.status) << "workers " << workers;
+    EXPECT_EQ(r.assignment.type_of, plain.assignment.type_of);
+    EXPECT_DOUBLE_EQ(r.assignment.objective, plain.assignment.objective);
+    EXPECT_EQ(r.detailed.fragments.size(), plain.detailed.fragments.size());
+    EXPECT_EQ(r.mip.nodes, plain.mip.nodes) << "workers " << workers;
+    EXPECT_EQ(r.effort.bnb_nodes, plain.effort.bnb_nodes);
+    EXPECT_EQ(r.effort.lp_iterations, plain.effort.lp_iterations);
+    EXPECT_EQ(r.retries, plain.retries);
+    ASSERT_EQ(r.lanes.size(), 1u);
+    EXPECT_TRUE(r.lanes[0].proved);
+    EXPECT_FALSE(r.lanes[0].cancelled);
+    EXPECT_EQ(r.lanes_cancelled, 0);
+  }
+}
+
+TEST(Portfolio, RacingNeverChangesTheGap0Objective) {
+  const workload::Table3Instance instance = small_instance();
+  const PipelineOptions options = gap0_options();
+  const PipelineResult plain =
+      map_pipeline(instance.design, instance.board, options);
+  ASSERT_EQ(plain.status, lp::SolveStatus::kOptimal);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    support::ThreadPool pool(workers);
+    PortfolioOptions race;
+    race.lanes =
+        default_portfolio_lanes(instance.board, /*lanes=*/3, options);
+    const PortfolioResult r =
+        solve_portfolio(pool, instance.design, instance.board, race);
+
+    // The winner identity may vary with timing; the proved objective
+    // must not.
+    ASSERT_GE(r.winner, 0) << "workers " << workers;
+    EXPECT_EQ(r.status, lp::SolveStatus::kOptimal);
+    EXPECT_TRUE(r.detailed.success);
+    EXPECT_DOUBLE_EQ(r.assignment.objective, plain.assignment.objective)
+        << "workers " << workers << " winner " << r.winner_name;
+    EXPECT_EQ(r.lanes.size(), 3u);
+    EXPECT_GE(r.first_prove_seconds, 0.0);
+    EXPECT_LE(r.first_prove_seconds, r.seconds);
+  }
+}
+
+TEST(Portfolio, PreCancelledParentStopsEveryLane) {
+  const workload::Table3Instance instance = small_instance();
+  PortfolioOptions race;
+  race.cancel_token = std::make_shared<support::CancelToken>();
+  race.cancel_token->cancel();
+  race.lanes = default_portfolio_lanes(instance.board, 3, gap0_options());
+  const PortfolioResult r =
+      solve_portfolio(instance.design, instance.board, race);
+
+  EXPECT_EQ(r.winner, -1);
+  EXPECT_EQ(r.status, lp::SolveStatus::kCancelled);
+  for (const LaneReport& lane : r.lanes) {
+    EXPECT_FALSE(lane.ran) << lane.name;
+    EXPECT_TRUE(lane.cancelled) << lane.name;
+    EXPECT_EQ(lane.stop_reason, lp::SolveStatus::kCancelled) << lane.name;
+    EXPECT_EQ(lane.effort.bnb_nodes, 0) << lane.name;
+  }
+}
+
+TEST(Portfolio, PreExpiredParentDeadlineReportsTimeLimit) {
+  const workload::Table3Instance instance = small_instance();
+  PortfolioOptions race;
+  race.cancel_token = std::make_shared<support::CancelToken>();
+  race.cancel_token->set_deadline_after_seconds(0.0);
+  race.lanes = default_portfolio_lanes(instance.board, 2, gap0_options());
+  const PortfolioResult r =
+      solve_portfolio(instance.design, instance.board, race);
+
+  EXPECT_EQ(r.winner, -1);
+  for (const LaneReport& lane : r.lanes) {
+    EXPECT_FALSE(lane.ran) << lane.name;
+    // Budget exhaustion, not a race loss: the report must say so.
+    EXPECT_EQ(lane.stop_reason, lp::SolveStatus::kTimeLimit) << lane.name;
+  }
+}
+
+TEST(Portfolio, EmptyPortfolioIsInfeasibleWithoutRunning) {
+  const workload::Table3Instance instance = small_instance();
+  const PortfolioResult r =
+      solve_portfolio(instance.design, instance.board, PortfolioOptions{});
+  EXPECT_EQ(r.winner, -1);
+  EXPECT_EQ(r.status, lp::SolveStatus::kInfeasible);
+  EXPECT_TRUE(r.lanes.empty());
+}
+
+TEST(Portfolio, DefaultMenuSharesTheGapContract) {
+  const workload::Table3Instance instance = small_instance();
+  PipelineOptions base;
+  base.global.mip.rel_gap = 0.0;
+  base.global.mip.abs_gap = 0.0;
+  base.global.mip.time_limit_seconds = 42.0;
+  const std::vector<PortfolioLane> lanes =
+      default_portfolio_lanes(instance.board, kMaxPortfolioLanes, base);
+  ASSERT_EQ(static_cast<int>(lanes.size()), kMaxPortfolioLanes);
+  for (const PortfolioLane& lane : lanes) {
+    // Search knobs may differ; the optimality contract may not.
+    EXPECT_DOUBLE_EQ(lane.pipeline.global.mip.rel_gap, 0.0) << lane.name;
+    EXPECT_DOUBLE_EQ(lane.pipeline.global.mip.abs_gap, 0.0) << lane.name;
+    EXPECT_DOUBLE_EQ(lane.pipeline.global.mip.time_limit_seconds, 42.0)
+        << lane.name;
+  }
+}
+
+}  // namespace
+}  // namespace gmm::mapping

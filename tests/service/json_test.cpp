@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace gmm::service {
@@ -88,6 +90,20 @@ TEST(Json, IntegralNumbersPrintWithoutFraction) {
   o["n"] = 1234567890123.0;
   o["f"] = 0.5;
   EXPECT_EQ(Json(std::move(o)).dump(), R"({"f":0.5,"n":1234567890123})");
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  // JSON has no NaN/Inf literal. A non-finite value sneaking into a
+  // stats payload (e.g. a 0/0 rate) must serialize as null — "%.17g"
+  // would print "nan"/"inf" and corrupt the whole line for the client.
+  JsonObject o;
+  o["nan"] = std::nan("");
+  o["inf"] = std::numeric_limits<double>::infinity();
+  o["ninf"] = -std::numeric_limits<double>::infinity();
+  o["ok"] = 1.5;
+  const std::string line = Json(std::move(o)).dump();
+  EXPECT_EQ(line, R"({"inf":null,"nan":null,"ninf":null,"ok":1.5})");
+  EXPECT_TRUE(parse_json(line).ok) << line;
 }
 
 TEST(Json, GetHelpersFallBack) {

@@ -266,6 +266,55 @@ TEST(SolutionCacheStore, StructuralIndexAndErase) {
   EXPECT_FALSE(cache.find_structural({500, 500 ^ 0x1234ULL}).has_value());
 }
 
+TEST(SolutionCacheStore, EraseRepointsStructuralIndexToSurvivor) {
+  // Two entries share a structural fingerprint (same conflict graph and
+  // shapes, different traffic).  The LAST insert owns the structural
+  // slot; erasing the owner (poisoning path) must repoint the slot at
+  // the survivor, not orphan it — a near-miss lookup afterwards still
+  // has a usable prior mapping in the cache.
+  SolutionCache cache(4);
+  cache.insert(entry_with_key(1, 500));
+  cache.insert(entry_with_key(2, 500));
+  auto near = cache.find_structural({500, 500 ^ 0x1234ULL});
+  ASSERT_TRUE(near.has_value());
+  EXPECT_EQ(near->key, (Fingerprint{2, 2 ^ 0xabcdULL}));
+
+  cache.erase({2, 2 ^ 0xabcdULL});
+  near = cache.find_structural({500, 500 ^ 0x1234ULL});
+  ASSERT_TRUE(near.has_value()) << "structural slot orphaned by erase";
+  EXPECT_EQ(near->key, (Fingerprint{1, 1 ^ 0xabcdULL}));
+
+  cache.erase({1, 1 ^ 0xabcdULL});
+  EXPECT_FALSE(cache.find_structural({500, 500 ^ 0x1234ULL}).has_value());
+}
+
+TEST(SolutionCacheStore, EvictionRepointsStructuralIndexToSurvivor) {
+  SolutionCache cache(2);
+  cache.insert(entry_with_key(1, 500));
+  cache.insert(entry_with_key(2, 500));  // slot owner, currently MRU
+  // Touch 1 so the slot OWNER becomes the LRU victim.
+  ASSERT_TRUE(cache.find({1, 1 ^ 0xabcdULL}).has_value());
+  cache.insert(entry_with_key(3, 777));  // evicts 2
+
+  EXPECT_FALSE(cache.find({2, 2 ^ 0xabcdULL}).has_value());
+  const auto near = cache.find_structural({500, 500 ^ 0x1234ULL});
+  ASSERT_TRUE(near.has_value()) << "structural slot orphaned by eviction";
+  EXPECT_EQ(near->key, (Fingerprint{1, 1 ^ 0xabcdULL}));
+  EXPECT_TRUE(cache.find_structural({777, 777 ^ 0x1234ULL}).has_value());
+}
+
+TEST(SolutionCacheStore, RefreshInsertKeepsStructuralIndexValid) {
+  SolutionCache cache(4);
+  cache.insert(entry_with_key(1, 500));
+  CacheEntry refreshed = entry_with_key(1, 500);
+  refreshed.objective = 42.0;
+  cache.insert(refreshed);  // same key: refresh path erases + reinserts
+  EXPECT_EQ(cache.size(), 1u);
+  const auto near = cache.find_structural({500, 500 ^ 0x1234ULL});
+  ASSERT_TRUE(near.has_value());
+  EXPECT_DOUBLE_EQ(near->objective, 42.0);
+}
+
 TEST(SolutionCacheStore, CapacityZeroDisablesEverything) {
   SolutionCache cache(0);
   EXPECT_FALSE(cache.enabled());
@@ -428,6 +477,47 @@ TEST(SolutionCacheService, TrafficMutationTakesNearMissPath) {
   EXPECT_EQ(stats.cache.hits, 0);
   EXPECT_EQ(stats.cache.misses, 2);
   EXPECT_EQ(stats.cache.near_misses, 1);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.cache.bypasses,
+            stats.accepted);
+}
+
+TEST(SolutionCacheService, NearMissStillFiresAfterExactHitTouchedTheEntry) {
+  // Regression for the LRU-touch / structural-index interaction.  An
+  // exact hit splices the cached entry to the front of the LRU list; the
+  // structural index must keep resolving afterwards (it maps to the
+  // entry's KEY, never to a list position).  Sequence: cold solve, exact
+  // hit (touch), then two successive traffic mutations — each must take
+  // the near-miss path off the still-indexed entry.
+  const auto demo_with_reads = [](int reads) {
+    return "design demo\n"
+           "segment coeffs depth 64 width 8 reads " +
+           std::to_string(reads) +
+           " writes 50\n"
+           "segment window depth 128 width 8 reads 200 writes 10\n"
+           "segment taps depth 32 width 16\n"
+           "conflicts all\n";
+  };
+  Collector out;
+  MappingService service({test_board()}, {.workers = 1}, out.sink());
+  service.handle(map_request("cold", demo_with_reads(100)));
+  service.handle(map_request("warm", demo_with_reads(100)));
+  service.handle(map_request("variant1", demo_with_reads(900)));
+  service.handle(map_request("variant2", demo_with_reads(500)));
+  service.drain();
+
+  for (const char* id : {"cold", "warm", "variant1", "variant2"}) {
+    ASSERT_EQ(out.only(id).status, ResponseStatus::kOk) << id;
+  }
+  EXPECT_TRUE(out.only("warm").cached);
+  EXPECT_FALSE(out.only("variant1").cached);
+  EXPECT_FALSE(out.only("variant2").cached);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 1);
+  // BOTH mutations near-missed: the slot survived the exact-hit touch
+  // and the first near-miss lookup (near-miss results are not inserted,
+  // so the cold entry keeps owning its structural slot).
+  EXPECT_EQ(stats.cache.near_misses, 2);
   EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.cache.bypasses,
             stats.accepted);
 }

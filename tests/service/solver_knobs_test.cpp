@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "ilp/mip_solver.hpp"
+#include "lp/types.hpp"
 #include "service/json.hpp"
+#include "support/rng.hpp"
 
 namespace gmm::service {
 namespace {
@@ -133,6 +137,101 @@ TEST(SolverKnobs, ThreadsCapIsOperatorPolicyAndClamps) {
   knobs.threads = 0;  // "the server's cap"
   apply_solver_knobs(knobs, /*max_threads_per_solve=*/6, mip);
   EXPECT_EQ(mip.num_threads, 6);
+}
+
+TEST(SolverKnobs, TimeLimitWireBoundaryGrid) {
+  // The wire floor is kMinTimeLimitMs: 0, negatives, and sub-minimum
+  // fractions are REJECTED (never clamped, and never reinterpreted as
+  // "no limit").  Exactly the minimum is accepted.
+  for (const char* text : {
+           R"({"options":{"time_limit_ms":0}})",
+           R"({"options":{"time_limit_ms":-1}})",
+           R"({"options":{"time_limit_ms":-0.001}})",
+           R"({"options":{"time_limit_ms":0.5}})",
+       }) {
+    SolverKnobs knobs;
+    std::string reason;
+    EXPECT_FALSE(parse_solver_knobs(parse_object(text), knobs, reason))
+        << text;
+    EXPECT_FALSE(reason.empty()) << text;
+    // A rejected knob must not leak a partial value into the struct.
+    EXPECT_LT(knobs.time_limit_ms, 0.0) << text;
+  }
+  SolverKnobs knobs;
+  std::string reason;
+  ASSERT_TRUE(parse_solver_knobs(
+      parse_object(R"({"options":{"time_limit_ms":1}})"), knobs, reason))
+      << reason;
+  EXPECT_DOUBLE_EQ(knobs.time_limit_ms, SolverKnobs::kMinTimeLimitMs);
+}
+
+TEST(SolverKnobs, ProgrammaticZeroBudgetMeansExpiredNotUnlimited) {
+  // time_limit_ms = 0.0 cannot arrive over the wire, but a programmatic
+  // caller can set it.  The boundary contract: ANY set value is a finite
+  // budget — 0.0 is an already-expired one, never "no limit".  A solve
+  // under it must stop with kTimeLimit at the first limit check.
+  SolverKnobs knobs;
+  knobs.time_limit_ms = 0.0;
+  ilp::MipOptions mip;
+  apply_solver_knobs(knobs, /*max_threads_per_solve=*/8, mip);
+  EXPECT_DOUBLE_EQ(mip.time_limit_seconds, 0.0);
+
+  support::Rng rng(11);
+  lp::Model m;
+  std::vector<lp::Index> vars;
+  for (int j = 0; j < 18; ++j) {
+    vars.push_back(
+        m.add_binary(static_cast<double>(rng.uniform_int(-30, -1))));
+  }
+  lp::LinExpr knap;
+  std::int64_t total = 0;
+  for (const lp::Index j : vars) {
+    const std::int64_t w = rng.uniform_int(1, 20);
+    knap.add(j, static_cast<double>(w));
+    total += w;
+  }
+  m.add_constraint(knap, lp::Sense::kLessEqual,
+                   static_cast<double>(total / 2));
+
+  const ilp::MipResult r = ilp::solve_mip(m, mip);
+  EXPECT_EQ(r.status, lp::SolveStatus::kTimeLimit);
+  EXPECT_EQ(r.stop_reason, lp::SolveStatus::kTimeLimit);
+}
+
+TEST(SolverKnobs, UnsetSentinelKeepsUnlimitedBudget) {
+  ilp::MipOptions mip;
+  apply_solver_knobs(SolverKnobs{}, /*max_threads_per_solve=*/8, mip);
+  EXPECT_EQ(mip.time_limit_seconds, lp::kInf);  // only the sentinel keeps it
+}
+
+TEST(SolverKnobs, LanesKnobParsesAndRejectsOutOfRange) {
+  for (const char* text : {R"({"options":{"lanes":0}})",
+                           R"({"options":{"lanes":7}})",
+                           R"({"options":{"lanes":-1}})",
+                           R"({"options":{"lanes":2.5}})",
+                           R"({"options":{"lanes":"three"}})"}) {
+    SolverKnobs knobs;
+    std::string reason;
+    EXPECT_FALSE(parse_solver_knobs(parse_object(text), knobs, reason))
+        << text;
+  }
+  for (const int lanes : {1, 3, SolverKnobs::kMaxLanes}) {
+    SolverKnobs knobs;
+    std::string reason;
+    ASSERT_TRUE(parse_solver_knobs(
+        parse_object(R"({"options":{"lanes":)" + std::to_string(lanes) + "}}"),
+        knobs, reason))
+        << reason;
+    EXPECT_EQ(knobs.lanes, lanes);
+  }
+  SolverKnobs unset;
+  std::string reason;
+  ASSERT_TRUE(parse_solver_knobs(parse_object("{}"), unset, reason));
+  EXPECT_LT(unset.lanes, 1);  // unset: the service picks its default
+  SolverKnobs set;
+  set.lanes = 4;
+  EXPECT_NE(solver_knobs_to_json(set).dump().find("\"lanes\":4"),
+            std::string::npos);
 }
 
 TEST(SolverKnobs, ToJsonEmitsOnlySetKnobs) {

@@ -232,5 +232,87 @@ TEST(SocketStress, ConcurrentClientsWithRandomDisconnects) {
   std::remove(board_file.c_str());
 }
 
+TEST(SocketStress, DisconnectStormAccountingExact) {
+  // Every client is a deserter: waves of connections that send requests
+  // and slam the socket with solves still in flight.  This drives the
+  // round-robin dispatch cursor through the pathological rotations —
+  // the served connection dying in its own slot, multiple connections
+  // dying inside one dispatch pass, the cursor's id re-lookup hitting
+  // freshly-erased entries (the cursor audit in socket_server.cpp pins
+  // this test by name).  Afterwards the server must still answer a
+  // well-behaved client with EXACT books: every admitted request
+  // reached a terminal status, no double-dispatch, no wedged sweep.
+  if (std::string(GMM_MAPPER_SERVE_PATH).empty()) {
+    GTEST_SKIP() << "mapper_serve path not configured";
+  }
+  const std::string board_file = "socket_storm_test_board.txt";
+  {
+    std::ofstream out(board_file);
+    ASSERT_TRUE(out.good());
+    arch::write_board(out, stress_board());
+  }
+  long pid = 0;
+#ifndef _WIN32
+  pid = static_cast<long>(::getpid());
+#endif
+  const std::string socket_path =
+      "/tmp/gmm_storm_" + std::to_string(pid) + ".sock";
+  ProcessClient server;
+  if (!server.start(GMM_MAPPER_SERVE_PATH,
+                    {board_file, "--workers", "2", "--queue", "64",
+                     "--listen", socket_path})) {
+    GTEST_SKIP() << "cannot spawn subprocesses on this platform";
+  }
+  ASSERT_TRUE(server.read_line(kReadTimeout).has_value())
+      << "no listening event";
+
+  constexpr int kWaves = 4;
+  constexpr int kClientsPerWave = 10;
+  std::atomic<int> failures{0};
+  support::Rng seeder(8082026);
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    threads.reserve(kClientsPerWave);
+    for (int c = 0; c < kClientsPerWave; ++c) {
+      const std::uint64_t seed = seeder.next_u64() % 1'000'000;
+      threads.emplace_back([&, seed] {
+        run_session(socket_path, seed, /*deserter=*/true, failures);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  ProcessClient audit;
+  ASSERT_TRUE(audit.connect(socket_path));
+  Response stats;
+  for (int attempt = 0;; ++attempt) {
+    const std::string id = "storm-audit" + std::to_string(attempt);
+    ASSERT_TRUE(
+        audit.send_line(R"({"id":")" + id + R"(","method":"stats"})"));
+    const auto line = audit.read_line(kReadTimeout);
+    ASSERT_TRUE(line.has_value()) << "server wedged after storm";
+    const JsonParseResult parsed = parse_json(*line);
+    ASSERT_TRUE(parsed.ok) << *line;
+    ASSERT_TRUE(Response::from_json(parsed.value, stats)) << *line;
+    ASSERT_TRUE(stats.has_stats);
+    if (stats.stats.accepted == stats.stats.completed || attempt >= 200) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(stats.stats.accepted, stats.stats.completed)
+      << "orphaned requests never terminated";
+  EXPECT_EQ(stats.stats.transport.connections_opened,
+            kWaves * kClientsPerWave + 1);
+  // Every storm connection is gone; only the auditor may still be open.
+  EXPECT_GE(stats.stats.transport.connections_closed,
+            kWaves * kClientsPerWave);
+  ASSERT_TRUE(audit.send_line(R"({"method":"shutdown"})"));
+  EXPECT_TRUE(audit.read_line(kReadTimeout).has_value()) << "no shutdown ack";
+  EXPECT_EQ(server.wait_exit(60.0), 0);
+  std::remove(board_file.c_str());
+}
+
 }  // namespace
 }  // namespace gmm::service
