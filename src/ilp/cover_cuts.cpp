@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 
 namespace gmm::ilp {
@@ -68,25 +69,48 @@ std::vector<CoverCut> separate_cover_cuts(const lp::Model& model,
       }
     }
 
-    // Violation check: sum x* > |C| - 1 ?
-    double activity = 0.0;
-    for (const Item& item : cover) activity += item.value;
     const double rhs = static_cast<double>(cover.size()) - 1.0;
-    if (activity <= rhs + min_violation) continue;
 
-    // Extend: any non-cover variable with coefficient >= the cover's max
-    // can join the left-hand side without weakening validity.
-    double max_coef = 0.0;
-    for (const Item& item : cover) max_coef = std::max(max_coef, item.coef);
+    // Lift every non-cover variable of the row: with mu_h = the sum of
+    // the h largest cover weights, alpha_j = max{ h : mu_h <= a_j } (0 =
+    // not in the cut).  See the header for the validity argument; the
+    // old "extend with coefficient 1 when a_j >= max cover weight" is
+    // exactly the h = 1 case.
+    std::vector<double> mu;  // mu[h] = sum of h largest cover weights
+    mu.reserve(cover.size() + 1);
+    mu.push_back(0.0);
+    {
+      std::vector<double> weights;
+      weights.reserve(cover.size());
+      for (const Item& item : cover) weights.push_back(item.coef);
+      std::sort(weights.begin(), weights.end(), std::greater<>());
+      for (const double w : weights) mu.push_back(mu.back() + w);
+    }
+
     CoverCut cut;
-    for (const Item& item : cover) cut.vars.push_back(item.var);
+    double activity = 0.0;
+    for (const Item& item : cover) {
+      cut.vars.push_back(item.var);
+      cut.coefs.push_back(1.0);
+      activity += item.value;
+    }
     for (const Item& item : items) {
       const bool in_cover =
           std::any_of(cover.begin(), cover.end(), [&item](const Item& c) {
             return c.var == item.var;
           });
-      if (!in_cover && item.coef >= max_coef) cut.vars.push_back(item.var);
+      if (in_cover) continue;
+      std::size_t alpha = 0;
+      while (alpha + 1 < mu.size() && mu[alpha + 1] <= item.coef + 1e-9) {
+        ++alpha;
+      }
+      if (alpha == 0) continue;
+      cut.vars.push_back(item.var);
+      cut.coefs.push_back(static_cast<double>(alpha));
+      activity += static_cast<double>(alpha) * item.value;
     }
+    if (activity <= rhs + min_violation) continue;
+
     cut.rhs = rhs;
     cuts.push_back(std::move(cut));
   }

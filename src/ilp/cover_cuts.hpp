@@ -1,4 +1,4 @@
-// Knapsack cover cuts.
+// Lifted knapsack cover cuts.
 //
 // For a row  sum a_j x_j <= b  with a_j > 0 over binary variables, any
 // COVER C (a set with sum_{j in C} a_j > b) yields the valid inequality
@@ -7,10 +7,19 @@
 // relaxations can sit several percent below the integer optimum; a few
 // rounds of cover separation at the root closes most of that gap.
 //
+// Cuts are LIFTED: with the cover weights sorted descending and
+// mu_h = (sum of the h largest), every non-cover variable enters with
+// coefficient alpha_j = max{ h : mu_h <= a_j }.  Validity for any
+// feasible 0/1 set S: each j in S\C with coefficient h contributes
+// weight >= mu_h, mu is superadditive (mu_p + mu_q >= mu_{p+q}), and the
+// members of S∩C weigh at least the |S∩C| smallest cover weights — so if
+// the cut were violated the total weight of S would reach mu_|C| > b,
+// contradicting feasibility.  alpha_j >= 1 exactly when a_j >= max cover
+// weight, so lifting strictly subsumes the classic "extended cover".
+//
 // Separation is the classic greedy heuristic: scan candidates by
-// decreasing fractional value, collect a cover, minimalize it, then
-// EXTEND it with every variable whose coefficient is at least the
-// cover's largest (extended covers dominate plain ones).
+// decreasing fractional value, collect a cover, minimalize it, then lift
+// every remaining variable of the row.
 #pragma once
 
 #include <vector>
@@ -20,11 +29,13 @@
 namespace gmm::ilp {
 
 struct CoverCut {
-  std::vector<lp::Index> vars;  // sum of these binaries...
-  double rhs = 0.0;             // ... is at most this
+  std::vector<lp::Index> vars;   // sum of coefs[k] * x_{vars[k]} ...
+  std::vector<double> coefs;     // ... (1.0 for cover members,
+                                 //      alpha_j >= 1 for lifted ones)
+  double rhs = 0.0;              // ... is at most this (|C| - 1)
 };
 
-/// Find violated extended cover cuts for `x` (a fractional LP solution of
+/// Find violated lifted cover cuts for `x` (a fractional LP solution of
 /// `model`).  Only rows that are pure positive-coefficient binary
 /// knapsacks are considered.  Returns at most `max_cuts` cuts, each
 /// violated by at least `min_violation`.

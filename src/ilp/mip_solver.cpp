@@ -111,7 +111,9 @@ class Search {
   class Worker {
    public:
     explicit Worker(Search& search)
-        : s_(search), engine_(*search.sf_) {
+        : s_(search),
+          engine_(lp::make_lp_backend(search.options_.lp_engine,
+                                      *search.sf_)) {
       pcost_.assign(search.reduced_->num_vars(), Pseudocost{});
     }
 
@@ -120,7 +122,10 @@ class Search {
 
     [[nodiscard]] std::int64_t lp_iterations() const { return lp_iterations_; }
     [[nodiscard]] std::int64_t refactorizations() const {
-      return engine_.stats().refactorizations;
+      return engine_->stats().refactorizations;
+    }
+    [[nodiscard]] std::int64_t work_units() const {
+      return engine_->stats().work_units;
     }
     [[nodiscard]] bool popped_any() const { return popped_any_; }
     [[nodiscard]] double last_popped_bound() const {
@@ -148,7 +153,7 @@ class Search {
     void dive(std::shared_ptr<const NodeData> node, bool warm_start);
 
     Search& s_;
-    lp::SimplexEngine engine_;
+    std::unique_ptr<lp::LpBackend> engine_;  // private per-worker engine
     std::vector<Pseudocost> pcost_;  // indexed by reduced column
     std::int64_t lp_iterations_ = 0;
     // This worker's share of the cache counters: loaded/cold_pops and the
@@ -356,7 +361,7 @@ void Search::release_basis_locked(const std::shared_ptr<BasisSlot>& slot) {
 }
 
 void Search::Worker::apply_path(const NodeData* node, const lp::Basis* warm) {
-  engine_.reset_bounds();
+  engine_->reset_bounds();
   // Collect root->leaf order; later changes on the same variable must win.
   std::vector<const NodeData*> chain;
   for (const NodeData* p = node; p != nullptr; p = p->parent.get()) {
@@ -365,7 +370,7 @@ void Search::Worker::apply_path(const NodeData* node, const lp::Basis* warm) {
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     const BoundChange& c = (*it)->change;
     if (c.var != lp::kInvalidIndex) {
-      engine_.set_column_bounds(c.var, c.lb, c.ub);
+      engine_->set_column_bounds(c.var, c.lb, c.ub);
     }
   }
   if (warm != nullptr) {
@@ -374,9 +379,9 @@ void Search::Worker::apply_path(const NodeData* node, const lp::Basis* warm) {
     // and reduced costs do not depend on bounds), so the dual simplex
     // resumes as if this worker had just solved the parent.  load_basis
     // refreshes the basic solution itself.
-    engine_.load_basis(*warm);
+    engine_->load_basis(*warm);
   } else {
-    engine_.refresh_basic_solution();
+    engine_->refresh_basic_solution();
   }
 }
 
@@ -438,17 +443,17 @@ SolveStatus Search::Worker::solve_node_lp() {
   if (remaining < kInf) {
     simplex.time_limit_seconds = std::max(0.0, remaining);
   }
-  const std::int64_t before = engine_.stats().iterations;
-  SolveStatus status = engine_.solve(simplex);
+  const std::int64_t before = engine_->stats().iterations;
+  SolveStatus status = engine_->solve(simplex);
   if (status == SolveStatus::kNumericalFailure ||
       status == SolveStatus::kIterationLimit) {
     // Cold restart once; the all-logical basis is always dual feasible.
     GMM_LOG(kWarn) << "mip: node LP " << to_string(status)
                    << ", retrying from a cold basis";
-    engine_.reset_to_logical_basis();
-    status = engine_.solve(simplex);
+    engine_->reset_to_logical_basis();
+    status = engine_->solve(simplex);
   }
-  lp_iterations_ += engine_.stats().iterations - before;
+  lp_iterations_ += engine_->stats().iterations - before;
   return status;
 }
 
@@ -474,11 +479,11 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node,
     const std::int64_t node_ordinal =
         s_.nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
 
-    const std::int64_t pivots_before = engine_.stats().iterations;
+    const std::int64_t pivots_before = engine_->stats().iterations;
     const SolveStatus lp_status = solve_node_lp();
     if (at_popped_node) {
       at_popped_node = false;
-      const std::int64_t pivots = engine_.stats().iterations - pivots_before;
+      const std::int64_t pivots = engine_->stats().iterations - pivots_before;
       if (warm_start) {
         basis_stats_.warm_pop_pivots += pivots;
       } else {
@@ -498,7 +503,7 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node,
     }
 
     const double node_bound =
-        engine_.objective_value() + s_.pre_.objective_offset;
+        engine_->objective_value() + s_.pre_.objective_offset;
 
     if (pending_var != lp::kInvalidIndex) {
       const double degradation =
@@ -516,7 +521,7 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node,
 
     if (node_bound >= s_.prune_threshold()) return;  // bound-pruned
 
-    const std::vector<double> x = engine_.structural_solution();
+    const std::vector<double> x = engine_->structural_solution();
     const Index branch_var = pick_branch_var(x);
     if (branch_var == lp::kInvalidIndex) {
       // Integral: candidate incumbent.
@@ -544,8 +549,8 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node,
     const bool up_first = frac > 0.5;
 
     const BoundChange up{branch_var, floor_v + 1.0,
-                         engine_.column_ub(branch_var)};
-    const BoundChange down{branch_var, engine_.column_lb(branch_var),
+                         engine_->column_ub(branch_var)};
+    const BoundChange down{branch_var, engine_->column_lb(branch_var),
                            floor_v};
     const BoundChange& follow = up_first ? up : down;
     const BoundChange& defer = up_first ? down : up;
@@ -567,12 +572,12 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node,
     std::shared_ptr<const lp::Basis> defer_basis;
     if (s_.options_.max_stored_bases > 0) {
       defer_basis =
-          std::make_shared<const lp::Basis>(engine_.snapshot_basis());
+          std::make_shared<const lp::Basis>(engine_->snapshot_basis());
     }
     s_.push_open(node_bound, std::move(defer_data), std::move(defer_basis));
 
-    engine_.set_column_bounds(branch_var, follow.lb, follow.ub);
-    engine_.refresh_basic_solution();
+    engine_->set_column_bounds(branch_var, follow.lb, follow.ub);
+    engine_->refresh_basic_solution();
 
     pending_var = branch_var;
     pending_up = up_first;
@@ -679,14 +684,72 @@ MipResult Search::run() {
   sf_ = std::make_unique<lp::StandardForm>(
       lp::StandardForm::build(*reduced_));
 
-  // ---- root cutting planes ----------------------------------------------
-  // Separate knapsack cover cuts on the root LP, rebuild, repeat.  Each
-  // round pays a model rebuild + cold solve, which the bound improvement
-  // repays many times over on the mapping formulations.  Serial: the cut
-  // rounds mutate the model every worker will share.
+  // ---- MIP start --------------------------------------------------------
+  // Seed the incumbent BEFORE the cut loop and the first node: best-first
+  // pruning (and the queued-node prune check) bite immediately, and
+  // root reduced-cost fixing below needs an incumbent to fix against.
+  // offer_incumbent validates the candidate, so a stale or infeasible
+  // start degrades to a no-op instead of corrupting the search.
+  if (static_cast<Index>(options_.mip_start.size()) == original_.num_vars() &&
+      original_.num_vars() > 0) {
+    offer_incumbent(options_.mip_start);
+    result_.mip_start_used =
+        incumbent_snapshot_.load(std::memory_order_relaxed) < kInf;
+  }
+
+  // ---- conflict cliques --------------------------------------------------
+  // Map caller-supplied cliques (ORIGINAL variable space) through the
+  // presolve once.  A member fixed at 1 forces every other member to 0 —
+  // applied to working_ bounds right away; members fixed at 0 (or
+  // eliminated) simply drop out.  Cliques that survive with >= 2 members
+  // feed the violation-driven separation in the cut loop below.
+  std::vector<std::vector<Index>> cliques;
+  {
+    bool bounds_changed = false;
+    for (const auto& orig_clique : options_.conflict_cliques) {
+      std::vector<Index> mapped;
+      bool forced_one = false;
+      for (const Index v : orig_clique) {
+        if (v < 0 || v >= static_cast<Index>(pre_.var_map.size())) continue;
+        const Index r = pre_.var_map[v];
+        if (r == lp::kInvalidIndex) {
+          if (pre_.fixed_value[v] >= 0.5) forced_one = true;
+          continue;
+        }
+        if (reduced_->var_type(r) != lp::VarType::kBinary) {
+          mapped.clear();
+          break;  // only pure binary cliques are sound as <= 1 rows
+        }
+        mapped.push_back(r);
+      }
+      if (forced_one) {
+        for (const Index r : mapped) {
+          if (working_.var_ub(r) > 0.0) {
+            working_.set_var_bounds(r, working_.var_lb(r), 0.0);
+            bounds_changed = true;
+          }
+        }
+        continue;
+      }
+      if (mapped.size() >= 2) cliques.push_back(std::move(mapped));
+    }
+    if (bounds_changed) {
+      sf_ = std::make_unique<lp::StandardForm>(
+          lp::StandardForm::build(working_));
+    }
+  }
+  std::vector<bool> clique_added(cliques.size(), false);
+
+  // ---- root cut loop -----------------------------------------------------
+  // Per round on the root LP: reduced-cost bound fixing from the
+  // incumbent, lifted cover separation, violated-clique separation; then
+  // rebuild the standard form and re-solve.  Each round pays a model
+  // rebuild + cold solve, which the bound improvement repays many times
+  // over on the mapping formulations.  Serial: the rounds mutate the
+  // model every worker will share.
   std::int64_t root_refactorizations = 0;
   {
-    auto root_engine = std::make_unique<lp::SimplexEngine>(*sf_);
+    auto root_engine = lp::make_lp_backend(options_.lp_engine, *sf_);
     for (int round = 0; round < options_.max_cut_rounds; ++round) {
       if (limits_hit()) break;
       lp::SimplexOptions simplex = options_.simplex;
@@ -698,32 +761,82 @@ MipResult Search::run() {
       const SolveStatus root_status = root_engine->solve(simplex);
       result_.lp_iterations += root_engine->stats().iterations - before;
       if (root_status != SolveStatus::kOptimal) break;
+      bool model_changed = false;
+
+      // Reduced-cost fixing.  A nonbasic integer column at a bound with
+      // reduced cost d could only move delta away from that bound before
+      // the LP bound z + |d| * delta crosses the prune threshold — the
+      // SAME threshold node pruning uses, so tightening to that delta
+      // discards only solutions the search would prune anyway.
+      const double threshold = prune_threshold();
+      if (options_.use_reduced_cost_fixing &&
+          incumbent_snapshot_.load(std::memory_order_relaxed) < kInf) {
+        const double z_root =
+            root_engine->objective_value() + pre_.objective_offset;
+        for (const Index j : int_cols_) {
+          const double lb = working_.var_lb(j);
+          const double ub = working_.var_ub(j);
+          if (lb >= ub) continue;
+          const double d = root_engine->reduced_cost(j);
+          const lp::VStat stat = root_engine->column_status(j);
+          if (stat == lp::VStat::kAtLower && d > lp::kDualTol) {
+            const double delta = (threshold - z_root) / d;
+            const double new_ub = lb + std::floor(delta + 1e-9);
+            if (new_ub < ub - 0.5) {
+              working_.set_var_bounds(j, lb, std::max(lb, new_ub));
+              ++result_.rc_fixed;
+              model_changed = true;
+            }
+          } else if (stat == lp::VStat::kAtUpper && d < -lp::kDualTol) {
+            const double delta = (threshold - z_root) / -d;
+            const double new_lb = ub - std::floor(delta + 1e-9);
+            if (new_lb > lb + 0.5) {
+              working_.set_var_bounds(j, std::min(ub, new_lb), ub);
+              ++result_.rc_fixed;
+              model_changed = true;
+            }
+          }
+        }
+      }
+
       const std::vector<double> x = root_engine->structural_solution();
+
+      // Lifted knapsack cover cuts.
       const std::vector<CoverCut> cuts = separate_cover_cuts(working_, x);
-      if (cuts.empty()) break;
       for (const CoverCut& cut : cuts) {
         lp::LinExpr expr;
-        for (const Index var : cut.vars) expr.add(var, 1.0);
+        for (std::size_t k = 0; k < cut.vars.size(); ++k) {
+          expr.add(cut.vars[k], cut.coefs[k]);
+        }
         working_.add_row(expr, -kInf, cut.rhs);
+        model_changed = true;
       }
       result_.cover_cuts += static_cast<std::int64_t>(cuts.size());
+
+      // Clique cuts: add sum_{j in Q} x_j <= 1 for every not-yet-added
+      // clique the root LP violates.
+      for (std::size_t c = 0; c < cliques.size(); ++c) {
+        if (clique_added[c]) continue;
+        double activity = 0.0;
+        for (const Index j : cliques[c]) activity += x[j];
+        if (activity <= 1.0 + 1e-6) continue;
+        lp::LinExpr expr;
+        for (const Index j : cliques[c]) expr.add(j, 1.0);
+        working_.add_row(expr, -kInf, 1.0);
+        clique_added[c] = true;
+        ++result_.clique_cuts;
+        model_changed = true;
+      }
+
+      if (!model_changed) break;
+      root_refactorizations += root_engine->stats().refactorizations;
+      result_.lp_work_units += root_engine->stats().work_units;
       sf_ =
           std::make_unique<lp::StandardForm>(lp::StandardForm::build(working_));
-      root_engine = std::make_unique<lp::SimplexEngine>(*sf_);
+      root_engine = lp::make_lp_backend(options_.lp_engine, *sf_);
     }
-    root_refactorizations = root_engine->stats().refactorizations;
-  }
-
-  // ---- MIP start --------------------------------------------------------
-  // Seed the incumbent BEFORE the first node so best-first pruning (and
-  // the queued-node prune check) bite immediately.  offer_incumbent
-  // validates the candidate, so a stale or infeasible start degrades to
-  // a no-op instead of corrupting the search.
-  if (static_cast<Index>(options_.mip_start.size()) == original_.num_vars() &&
-      original_.num_vars() > 0) {
-    offer_incumbent(options_.mip_start);
-    result_.mip_start_used =
-        incumbent_snapshot_.load(std::memory_order_relaxed) < kInf;
+    root_refactorizations += root_engine->stats().refactorizations;
+    result_.lp_work_units += root_engine->stats().work_units;
   }
 
   // ---- root ------------------------------------------------------------
@@ -756,6 +869,7 @@ MipResult Search::run() {
   for (const auto& worker : workers) {
     result_.lp_iterations += worker->lp_iterations();
     result_.simplex_refactorizations += worker->refactorizations();
+    result_.lp_work_units += worker->work_units();
     result_.basis += worker->basis_stats();  // loaded/cold/pivot split
   }
   result_.nodes = nodes_.load(std::memory_order_relaxed);

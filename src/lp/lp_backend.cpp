@@ -1,0 +1,75 @@
+#include "lp/lp_backend.hpp"
+
+#include "lp/simplex.hpp"
+#include "lp/sparse_simplex.hpp"
+
+namespace gmm::lp {
+
+bool parse_lp_engine(std::string_view text, LpEngine& out) {
+  if (text == "dense") {
+    out = LpEngine::kDense;
+    return true;
+  }
+  if (text == "sparse") {
+    out = LpEngine::kSparse;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<LpBackend> make_lp_backend(LpEngine engine,
+                                           const StandardForm& sf) {
+  switch (engine) {
+    case LpEngine::kDense:
+      return std::make_unique<DenseTableauBackend>(sf);
+    case LpEngine::kSparse:
+      return std::make_unique<SparseSimplexBackend>(sf);
+  }
+  return std::make_unique<DenseTableauBackend>(sf);
+}
+
+namespace detail {
+
+VStat dual_feasible_status(double d, double lb, double ub) {
+  if (lb == ub) return VStat::kFixed;
+  if (lb > -kInf && ub < kInf) {
+    return d >= 0.0 ? VStat::kAtLower : VStat::kAtUpper;
+  }
+  if (lb > -kInf) return VStat::kAtLower;
+  if (ub < kInf) return VStat::kAtUpper;
+  return VStat::kFree;
+}
+
+VStat normalize_loaded_status(VStat status, double lb, double ub) {
+  switch (status) {
+    case VStat::kBasic:
+      break;
+    case VStat::kFixed:
+      if (lb != ub) {
+        return lb > -kInf ? VStat::kAtLower : VStat::kAtUpper;
+      }
+      break;
+    case VStat::kAtLower:
+      if (lb == ub) return VStat::kFixed;
+      if (lb <= -kInf) {
+        return ub < kInf ? VStat::kAtUpper : VStat::kFree;
+      }
+      break;
+    case VStat::kAtUpper:
+      if (lb == ub) return VStat::kFixed;
+      if (ub >= kInf) {
+        return lb > -kInf ? VStat::kAtLower : VStat::kFree;
+      }
+      break;
+    case VStat::kFree:
+      if (lb > -kInf || ub < kInf) {
+        return lb > -kInf ? VStat::kAtLower : VStat::kAtUpper;
+      }
+      break;
+  }
+  return status;
+}
+
+}  // namespace detail
+
+}  // namespace gmm::lp

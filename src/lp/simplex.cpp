@@ -19,7 +19,7 @@ bool is_nonbasic(VStat s) { return s != VStat::kBasic; }
 
 }  // namespace
 
-SimplexEngine::SimplexEngine(const StandardForm& sf)
+DenseTableauBackend::DenseTableauBackend(const StandardForm& sf)
     : sf_(sf), m_(sf.num_rows), n_(sf.num_cols()) {
   lb_ = sf_.lb;
   ub_ = sf_.ub;
@@ -33,7 +33,7 @@ SimplexEngine::SimplexEngine(const StandardForm& sf)
   reset_to_logical_basis();
 }
 
-void SimplexEngine::set_column_bounds(Index j, double lb, double ub) {
+void DenseTableauBackend::set_column_bounds(Index j, double lb, double ub) {
   GMM_ASSERT(!(lb > ub), "set_column_bounds with lb > ub");
   lb_[j] = lb;
   ub_[j] = ub;
@@ -41,24 +41,12 @@ void SimplexEngine::set_column_bounds(Index j, double lb, double ub) {
   // Re-derive a nonbasic status that keeps the basis DUAL feasible, so a
   // branch-and-bound node restored under a different bound path can
   // warm-start the dual simplex from whatever basis the engine holds.
-  // With both bounds finite the reduced-cost sign picks the side
-  // (d >= 0 wants the lower bound, d < 0 the upper); with one bound the
-  // status is forced.  d_ is maintained across every pivot for ALL
-  // nonbasic columns, fixed ones included, precisely so this is valid.
-  if (lb == ub) {
-    stat_[j] = VStat::kFixed;
-  } else if (lb > -kInf && ub < kInf) {
-    stat_[j] = d_[j] >= 0.0 ? VStat::kAtLower : VStat::kAtUpper;
-  } else if (lb > -kInf) {
-    stat_[j] = VStat::kAtLower;
-  } else if (ub < kInf) {
-    stat_[j] = VStat::kAtUpper;
-  } else {
-    stat_[j] = VStat::kFree;
-  }
+  // d_ is maintained across every pivot for ALL nonbasic columns, fixed
+  // ones included, precisely so this is valid.
+  stat_[j] = detail::dual_feasible_status(d_[j], lb, ub);
 }
 
-void SimplexEngine::reset_bounds() {
+void DenseTableauBackend::reset_bounds() {
   for (Index j = 0; j < n_; ++j) {
     if (stat_[j] == VStat::kBasic) {
       lb_[j] = sf_.lb[j];
@@ -69,7 +57,7 @@ void SimplexEngine::reset_bounds() {
   }
 }
 
-double SimplexEngine::nonbasic_value(Index j) const {
+double DenseTableauBackend::nonbasic_value(Index j) const {
   switch (stat_[j]) {
     case VStat::kAtLower:
     case VStat::kFixed:
@@ -85,7 +73,7 @@ double SimplexEngine::nonbasic_value(Index j) const {
   return 0.0;
 }
 
-void SimplexEngine::reset_to_logical_basis() {
+void DenseTableauBackend::reset_to_logical_basis() {
   for (Index i = 0; i < m_; ++i) basis_[i] = sf_.num_structural + i;
   for (Index j = 0; j < n_; ++j) {
     if (sf_.is_logical(j)) {
@@ -120,7 +108,7 @@ void SimplexEngine::reset_to_logical_basis() {
   compute_duals();
 }
 
-void SimplexEngine::load_basis(const Basis& basis) {
+void DenseTableauBackend::load_basis(const Basis& basis) {
   GMM_ASSERT(basis.basic_in_row.size() == static_cast<std::size_t>(m_) &&
                  basis.status.size() == static_cast<std::size_t>(n_),
              "basis snapshot does not match this standard form");
@@ -129,34 +117,7 @@ void SimplexEngine::load_basis(const Basis& basis) {
   // Normalize nonbasic statuses against the working bounds: keep the
   // snapshot's status whenever the bound it references still exists.
   for (Index j = 0; j < n_; ++j) {
-    switch (stat_[j]) {
-      case VStat::kBasic:
-        break;
-      case VStat::kFixed:
-        if (lb_[j] != ub_[j]) {
-          stat_[j] = lb_[j] > -kInf ? VStat::kAtLower : VStat::kAtUpper;
-        }
-        break;
-      case VStat::kAtLower:
-        if (lb_[j] == ub_[j]) {
-          stat_[j] = VStat::kFixed;
-        } else if (lb_[j] <= -kInf) {
-          stat_[j] = ub_[j] < kInf ? VStat::kAtUpper : VStat::kFree;
-        }
-        break;
-      case VStat::kAtUpper:
-        if (lb_[j] == ub_[j]) {
-          stat_[j] = VStat::kFixed;
-        } else if (ub_[j] >= kInf) {
-          stat_[j] = lb_[j] > -kInf ? VStat::kAtLower : VStat::kFree;
-        }
-        break;
-      case VStat::kFree:
-        if (lb_[j] > -kInf || ub_[j] < kInf) {
-          stat_[j] = lb_[j] > -kInf ? VStat::kAtLower : VStat::kAtUpper;
-        }
-        break;
-    }
+    stat_[j] = detail::normalize_loaded_status(stat_[j], lb_[j], ub_[j]);
   }
   refactorize();
   compute_duals();
@@ -207,9 +168,9 @@ void SimplexEngine::load_basis(const Basis& basis) {
   refresh_basic_solution();
 }
 
-Basis SimplexEngine::snapshot_basis() const { return Basis{basis_, stat_}; }
+Basis DenseTableauBackend::snapshot_basis() const { return Basis{basis_, stat_}; }
 
-void SimplexEngine::refresh_basic_solution() {
+void DenseTableauBackend::refresh_basic_solution() {
   // x_B = -B^{-1} * sum_j(A_j * value_j) over nonbasic columns with
   // nonzero value.
   std::vector<double> rhs(m_, 0.0);
@@ -233,7 +194,7 @@ void SimplexEngine::refresh_basic_solution() {
   }
 }
 
-void SimplexEngine::ftran(Index j, std::vector<double>& w) const {
+void DenseTableauBackend::ftran(Index j, std::vector<double>& w) const {
   std::fill(w.begin(), w.end(), 0.0);
   if (sf_.is_logical(j)) {
     const Index r = sf_.logical_row(j);
@@ -251,7 +212,7 @@ void SimplexEngine::ftran(Index j, std::vector<double>& w) const {
   }
 }
 
-double SimplexEngine::column_dot(const double* rho, Index j) const {
+double DenseTableauBackend::column_dot(const double* rho, Index j) const {
   if (sf_.is_logical(j)) return rho[sf_.logical_row(j)];
   double acc = 0.0;
   for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
@@ -260,8 +221,12 @@ double SimplexEngine::column_dot(const double* rho, Index j) const {
   return acc;
 }
 
-void SimplexEngine::refactorize() {
+void DenseTableauBackend::refactorize() {
   ++stats_.refactorizations;
+  // Gauss-Jordan on [B | I] touches ~m^3 multiply-adds regardless of
+  // sparsity — the cost the sparse backend's LU exists to avoid.
+  stats_.work_units +=
+      static_cast<std::int64_t>(m_) * m_ * m_;
   pivots_since_refactor_ = 0;
   const std::size_t mm = static_cast<std::size_t>(m_) * m_;
   work_b_.assign(mm, 0.0);
@@ -384,7 +349,7 @@ void SimplexEngine::refactorize() {
   GMM_ASSERT(false, "refactorize: repeated basis repair did not converge");
 }
 
-void SimplexEngine::compute_duals() {
+void DenseTableauBackend::compute_duals() {
   // y = c_B^T B^{-1}, accumulated row-wise over basic columns with
   // nonzero cost; then d_j = c_j - y . A_j.
   std::vector<double> y(m_, 0.0);
@@ -403,7 +368,7 @@ void SimplexEngine::compute_duals() {
   }
 }
 
-SimplexEngine::PivotResult SimplexEngine::dual_pivot() {
+DenseTableauBackend::PivotResult DenseTableauBackend::dual_pivot() {
   // ---- 1. leaving row -------------------------------------------------
   // Normal mode: the largest bound violation, with a deterministic scan
   // rotation to vary tie-breaks.  Bland mode: the violated row whose
@@ -568,7 +533,9 @@ SimplexEngine::PivotResult SimplexEngine::dual_pivot() {
   // dual objective; long streaks can cycle, so switch to Bland's rules
   // until a real step happens.
   if (std::abs(theta) <= kDualTol) {
-    if (++degenerate_streak_ > std::max(200, m_ / 2)) bland_mode_ = true;
+    if (++degenerate_streak_ > std::max(stall_threshold_, m_ / 2)) {
+      bland_mode_ = true;
+    }
   } else {
     degenerate_streak_ = 0;
     bland_mode_ = false;
@@ -576,11 +543,18 @@ SimplexEngine::PivotResult SimplexEngine::dual_pivot() {
 
   ++pivots_since_refactor_;
   ++stats_.iterations;
+  // Work accounting: the pivot row touched every structural nonzero plus
+  // the logicals, and the FTRAN + explicit-inverse + x_B updates each
+  // swept dense length-m rows — the m^2 term the sparse engine exists to
+  // shrink.
+  stats_.work_units += static_cast<std::int64_t>(sf_.value.size()) + m_ +
+                       2 * static_cast<std::int64_t>(m_) * m_;
   return PivotResult::kPivoted;
 }
 
-SolveStatus SimplexEngine::solve(const SimplexOptions& options) {
+SolveStatus DenseTableauBackend::solve(const SimplexOptions& options) {
   support::WallTimer timer;
+  stall_threshold_ = options.stall_threshold;
   std::int64_t iterations_this_call = 0;
   int numerical_retries = 0;
   while (true) {
@@ -615,7 +589,7 @@ SolveStatus SimplexEngine::solve(const SimplexOptions& options) {
   }
 }
 
-double SimplexEngine::objective_value() const {
+double DenseTableauBackend::objective_value() const {
   double obj = 0.0;
   for (Index i = 0; i < m_; ++i) obj += sf_.cost[basis_[i]] * xb_[i];
   for (Index j = 0; j < n_; ++j) {
@@ -626,7 +600,7 @@ double SimplexEngine::objective_value() const {
   return obj;
 }
 
-double SimplexEngine::column_value(Index j) const {
+double DenseTableauBackend::column_value(Index j) const {
   if (stat_[j] == VStat::kBasic) {
     for (Index i = 0; i < m_; ++i) {
       if (basis_[i] == j) return xb_[i];
@@ -636,7 +610,7 @@ double SimplexEngine::column_value(Index j) const {
   return nonbasic_value(j);
 }
 
-std::vector<double> SimplexEngine::structural_solution() const {
+std::vector<double> DenseTableauBackend::structural_solution() const {
   std::vector<double> x(sf_.num_structural);
   for (Index j = 0; j < sf_.num_structural; ++j) {
     x[j] = stat_[j] == VStat::kBasic ? 0.0 : nonbasic_value(j);

@@ -1,4 +1,6 @@
-// Bounded-variable revised simplex with an explicit basis inverse.
+// Bounded-variable revised simplex with an explicit basis inverse — the
+// dense LpBackend implementation (and the differential-testing oracle
+// for the sparse one; see lp/lp_backend.hpp).
 //
 // The engine implements the DUAL simplex as its workhorse.  Rationale: in
 // this project every LP is either (a) a fresh relaxation whose variables
@@ -23,42 +25,31 @@
 #include <vector>
 
 #include "lp/basis.hpp"
+#include "lp/lp_backend.hpp"
 #include "lp/standard_form.hpp"
 #include "lp/types.hpp"
 
 namespace gmm::lp {
 
-struct SimplexOptions {
-  std::int64_t iteration_limit = 200'000;
-  double time_limit_seconds = kInf;  // wall clock for one solve() call
-  int refactor_interval = 128;       // pivots between refactorizations
-};
-
-struct SimplexStats {
-  std::int64_t iterations = 0;        // dual pivots, cumulative
-  std::int64_t refactorizations = 0;  // cumulative
-  std::int64_t bound_flips = 0;       // cumulative (long-step ratio test)
-};
-
-class SimplexEngine {
+class DenseTableauBackend final : public LpBackend {
  public:
   /// The engine keeps a reference to `sf`; it must outlive the engine.
-  explicit SimplexEngine(const StandardForm& sf);
+  explicit DenseTableauBackend(const StandardForm& sf);
 
   // ---- bounds (branch & bound interface) ----------------------------
   /// Override the working bounds of a column.  Call refresh_basic_solution()
   /// after a batch of changes and before solve().
-  void set_column_bounds(Index j, double lb, double ub);
+  void set_column_bounds(Index j, double lb, double ub) override;
   /// Restore all working bounds from the standard form.
-  void reset_bounds();
-  [[nodiscard]] double column_lb(Index j) const { return lb_[j]; }
-  [[nodiscard]] double column_ub(Index j) const { return ub_[j]; }
+  void reset_bounds() override;
+  [[nodiscard]] double column_lb(Index j) const override { return lb_[j]; }
+  [[nodiscard]] double column_ub(Index j) const override { return ub_[j]; }
 
   // ---- basis management ---------------------------------------------
   /// All logicals basic; structurals nonbasic at the bound their cost
   /// prefers.  Dual feasible for any model where each structural variable
   /// has a finite bound on the side its cost pushes toward.
-  void reset_to_logical_basis();
+  void reset_to_logical_basis() override;
   /// Restore a snapshot taken on the same standard form (asserts the
   /// shapes match).  Nonbasic statuses are normalized against the current
   /// working bounds, then repaired to DUAL feasibility: columns sitting on
@@ -67,26 +58,29 @@ class SimplexEngine {
   /// is singular beyond refactorize()'s row repair) the engine degrades to
   /// the all-logical cold basis — loading a foreign or stale basis can
   /// cost pivots, never correctness.
-  void load_basis(const Basis& basis);
-  [[nodiscard]] Basis snapshot_basis() const;
+  void load_basis(const Basis& basis) override;
+  [[nodiscard]] Basis snapshot_basis() const override;
 
   /// Recompute x_B and nonbasic values from the current bounds + basis.
-  void refresh_basic_solution();
+  void refresh_basic_solution() override;
 
   // ---- solving -------------------------------------------------------
   /// Run dual simplex to optimality (primal feasibility).  The basis must
   /// already be dual feasible, which holds in all supported entry paths.
-  SolveStatus solve(const SimplexOptions& options);
+  SolveStatus solve(const SimplexOptions& options) override;
 
   // ---- solution access ------------------------------------------------
-  [[nodiscard]] double objective_value() const;
+  [[nodiscard]] double objective_value() const override;
   /// Value of any column (structural or logical) at the current basis.
-  [[nodiscard]] double column_value(Index j) const;
+  [[nodiscard]] double column_value(Index j) const override;
   /// Values of the structural columns only.
-  [[nodiscard]] std::vector<double> structural_solution() const;
+  [[nodiscard]] std::vector<double> structural_solution() const override;
   /// Reduced cost of a column (valid after solve()).
-  [[nodiscard]] double reduced_cost(Index j) const { return d_[j]; }
-  [[nodiscard]] const SimplexStats& stats() const { return stats_; }
+  [[nodiscard]] double reduced_cost(Index j) const override { return d_[j]; }
+  [[nodiscard]] VStat column_status(Index j) const override {
+    return stat_[j];
+  }
+  [[nodiscard]] const SimplexStats& stats() const override { return stats_; }
 
  private:
   // Dense pivot-row / FTRAN helpers.
@@ -121,10 +115,16 @@ class SimplexEngine {
   std::uint32_t tie_rotation_ = 0;  // deterministic tie-break rotation
   // Anti-cycling: after a long streak of degenerate (zero dual step)
   // pivots, switch to Bland's smallest-index rules, which provably
-  // terminate; leave the mode on the first non-degenerate pivot.
+  // terminate; leave the mode on the first non-degenerate pivot.  The
+  // streak threshold comes from SimplexOptions::stall_threshold.
   int degenerate_streak_ = 0;
+  int stall_threshold_ = 200;
   bool bland_mode_ = false;
   SimplexStats stats_;
 };
+
+/// Historical name of the dense engine, kept for existing call sites and
+/// tests; new code should hold an LpBackend from make_lp_backend().
+using SimplexEngine = DenseTableauBackend;
 
 }  // namespace gmm::lp

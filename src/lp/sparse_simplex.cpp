@@ -1,0 +1,759 @@
+#include "lp/sparse_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace gmm::lp {
+
+namespace {
+
+/// Harris ratio-test slack, identical to the dense engine so both
+/// backends make the same stability/progress trade.
+constexpr double kHarrisSlack = 1e-7;
+/// Entries of a BTRAN row below this are treated as structural zeros
+/// when scattering the pivot row (they cannot produce an |alpha| above
+/// kPivotTol against the equilibrated matrix).
+constexpr double kRhoDropTol = 1e-12;
+/// Eta fill may grow to this multiple of the LU size before a
+/// refactorization is forced — the "bounded eta" guarantee.
+constexpr std::int64_t kEtaBudgetFactor = 4;
+
+bool is_nonbasic(VStat s) { return s != VStat::kBasic; }
+
+}  // namespace
+
+SparseSimplexBackend::SparseSimplexBackend(const StandardForm& sf)
+    : sf_(sf), m_(sf.num_rows), n_(sf.num_cols()) {
+  lb_ = sf_.lb;
+  ub_ = sf_.ub;
+  basis_.resize(m_);
+  stat_.resize(n_);
+  xb_.resize(m_);
+  d_.resize(n_);
+  // Build the CSR copy of the structural columns once; the pivot-row
+  // scatter is the only row-wise access in the engine.
+  csr_start_.assign(static_cast<std::size_t>(m_) + 1, 0);
+  for (std::size_t k = 0; k < sf_.row_index.size(); ++k) {
+    ++csr_start_[static_cast<std::size_t>(sf_.row_index[k]) + 1];
+  }
+  for (Index i = 0; i < m_; ++i) {
+    csr_start_[static_cast<std::size_t>(i) + 1] +=
+        csr_start_[static_cast<std::size_t>(i)];
+  }
+  csr_col_.resize(sf_.row_index.size());
+  csr_val_.resize(sf_.row_index.size());
+  std::vector<std::size_t> fill(csr_start_.begin(), csr_start_.end() - 1);
+  for (Index j = 0; j < sf_.num_structural; ++j) {
+    for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+      std::size_t& pos = fill[sf_.row_index[k]];
+      csr_col_[pos] = j;
+      csr_val_[pos] = sf_.value[k];
+      ++pos;
+    }
+  }
+  l_cols_.resize(m_);
+  u_cols_.resize(m_);
+  u_diag_.resize(m_);
+  prow_.resize(m_);
+  pinv_.resize(m_);
+  work_m_.resize(m_);
+  work_y_.resize(m_);
+  rho_.resize(m_);
+  alpha_ws_.assign(n_, 0.0);
+  mark_.assign(n_, 0);
+  w_.resize(m_);
+  col_ws_.resize(m_);
+  reset_to_logical_basis();
+}
+
+void SparseSimplexBackend::set_column_bounds(Index j, double lb, double ub) {
+  GMM_ASSERT(!(lb > ub), "set_column_bounds with lb > ub");
+  lb_[j] = lb;
+  ub_[j] = ub;
+  if (stat_[j] == VStat::kBasic) return;
+  // Same contract as the dense engine: d_ is maintained for every
+  // nonbasic column across pivots, so the dual-feasible side can be
+  // re-derived under any bound change.
+  stat_[j] = detail::dual_feasible_status(d_[j], lb, ub);
+}
+
+void SparseSimplexBackend::reset_bounds() {
+  for (Index j = 0; j < n_; ++j) {
+    if (stat_[j] == VStat::kBasic) {
+      lb_[j] = sf_.lb[j];
+      ub_[j] = sf_.ub[j];
+    } else {
+      set_column_bounds(j, sf_.lb[j], sf_.ub[j]);
+    }
+  }
+}
+
+double SparseSimplexBackend::nonbasic_value(Index j) const {
+  switch (stat_[j]) {
+    case VStat::kAtLower:
+    case VStat::kFixed:
+      return lb_[j];
+    case VStat::kAtUpper:
+      return ub_[j];
+    case VStat::kFree:
+      return 0.0;
+    case VStat::kBasic:
+      break;
+  }
+  GMM_ASSERT(false, "nonbasic_value called on basic column");
+  return 0.0;
+}
+
+void SparseSimplexBackend::reset_to_logical_basis() {
+  for (Index i = 0; i < m_; ++i) basis_[i] = sf_.num_structural + i;
+  for (Index j = 0; j < n_; ++j) {
+    if (sf_.is_logical(j)) {
+      stat_[j] = VStat::kBasic;
+      continue;
+    }
+    if (lb_[j] == ub_[j]) {
+      stat_[j] = VStat::kFixed;
+    } else if (sf_.cost[j] > kDualTol) {
+      GMM_ASSERT(lb_[j] > -kInf,
+                 "dual simplex start requires a finite lower bound on every "
+                 "positive-cost variable");
+      stat_[j] = VStat::kAtLower;
+    } else if (sf_.cost[j] < -kDualTol) {
+      GMM_ASSERT(ub_[j] < kInf,
+                 "dual simplex start requires a finite upper bound on every "
+                 "negative-cost variable");
+      stat_[j] = VStat::kAtUpper;
+    } else if (lb_[j] > -kInf) {
+      stat_[j] = VStat::kAtLower;
+    } else if (ub_[j] < kInf) {
+      stat_[j] = VStat::kAtUpper;
+    } else {
+      stat_[j] = VStat::kFree;
+    }
+  }
+  // B = I for the all-logical basis: the LU is the identity.
+  for (Index i = 0; i < m_; ++i) {
+    l_cols_[i].clear();
+    u_cols_[i].clear();
+    u_diag_[i] = 1.0;
+    prow_[i] = i;
+    pinv_[i] = i;
+  }
+  lu_nnz_ = m_;
+  etas_.clear();
+  eta_nnz_ = 0;
+  pivots_since_refactor_ = 0;
+  refresh_basic_solution();
+  compute_duals();
+}
+
+void SparseSimplexBackend::load_basis(const Basis& basis) {
+  GMM_ASSERT(basis.basic_in_row.size() == static_cast<std::size_t>(m_) &&
+                 basis.status.size() == static_cast<std::size_t>(n_),
+             "basis snapshot does not match this standard form");
+  basis_ = basis.basic_in_row;
+  stat_ = basis.status;
+  for (Index j = 0; j < n_; ++j) {
+    stat_[j] = detail::normalize_loaded_status(stat_[j], lb_[j], ub_[j]);
+  }
+  factorize();
+  compute_duals();
+  // Repair DUAL feasibility exactly like the dense engine (see
+  // lp/simplex.hpp): flip columns to their other finite bound, or fall
+  // back to the cold logical basis when no cheap repair exists.
+  for (Index j = 0; j < n_; ++j) {
+    switch (stat_[j]) {
+      case VStat::kBasic:
+      case VStat::kFixed:
+        break;
+      case VStat::kAtLower:
+        if (d_[j] < -kDualTol) {
+          if (ub_[j] >= kInf) {
+            reset_to_logical_basis();
+            return;
+          }
+          stat_[j] = VStat::kAtUpper;
+        }
+        break;
+      case VStat::kAtUpper:
+        if (d_[j] > kDualTol) {
+          if (lb_[j] <= -kInf) {
+            reset_to_logical_basis();
+            return;
+          }
+          stat_[j] = VStat::kAtLower;
+        }
+        break;
+      case VStat::kFree:
+        if (std::abs(d_[j]) > kDualTol) {
+          reset_to_logical_basis();
+          return;
+        }
+        break;
+    }
+  }
+  refresh_basic_solution();
+}
+
+Basis SparseSimplexBackend::snapshot_basis() const {
+  return Basis{basis_, stat_};
+}
+
+void SparseSimplexBackend::scatter_nonbasic_rhs(std::vector<double>& out) const {
+  out.assign(m_, 0.0);
+  for (Index j = 0; j < n_; ++j) {
+    if (!is_nonbasic(stat_[j])) continue;
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    if (sf_.is_logical(j)) {
+      out[sf_.logical_row(j)] += v;
+    } else {
+      for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+        out[sf_.row_index[k]] += sf_.value[k] * v;
+      }
+    }
+  }
+}
+
+void SparseSimplexBackend::refresh_basic_solution() {
+  // x_B = -B^{-1} * (nonbasic activity), one sparse solve.
+  scatter_nonbasic_rhs(work_m_);
+  ftran_in_place(work_m_);
+  for (Index i = 0; i < m_; ++i) xb_[i] = -work_m_[i];
+}
+
+void SparseSimplexBackend::ftran_in_place(std::vector<double>& w) {
+  std::int64_t work = 3 * static_cast<std::int64_t>(m_);
+  // Forward L solve: w enters scattered over original rows; y (pivot
+  // order) collects the residual at each pivot row as it is reached.
+  for (Index j = 0; j < m_; ++j) {
+    const double yj = w[prow_[j]];
+    work_y_[j] = yj;
+    if (yj == 0.0) continue;
+    for (const auto& [r, lv] : l_cols_[j]) w[r] -= lv * yj;
+    work += static_cast<std::int64_t>(l_cols_[j].size());
+  }
+  // Backward U solve in pivot order.
+  for (Index k = m_ - 1; k >= 0; --k) {
+    const double zk = work_y_[k] / u_diag_[k];
+    work_y_[k] = zk;
+    if (zk == 0.0) continue;
+    for (const auto& [j, uv] : u_cols_[k]) work_y_[j] -= uv * zk;
+    work += static_cast<std::int64_t>(u_cols_[k].size());
+  }
+  // U's columns are the basis positions, so y IS the result.
+  for (Index i = 0; i < m_; ++i) w[i] = work_y_[i];
+  // Product-form etas, oldest first: w := (I + u e_r^T) w.
+  for (const Eta& eta : etas_) {
+    const double wr = w[eta.r];
+    if (wr == 0.0) continue;
+    for (const auto& [i, uv] : eta.u) w[i] += uv * wr;
+    work += static_cast<std::int64_t>(eta.u.size());
+  }
+  stats_.work_units += work;
+}
+
+void SparseSimplexBackend::btran_apply(std::vector<double>& v) {
+  std::int64_t work = 2 * static_cast<std::int64_t>(m_);
+  // Eta transposes, newest first: v := (I + e_r u^T) v.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double dot = 0.0;
+    for (const auto& [i, uv] : it->u) dot += uv * v[i];
+    if (dot != 0.0) v[it->r] += dot;
+    work += static_cast<std::int64_t>(it->u.size());
+  }
+  // U^T forward solve (ascending pivot order).
+  for (Index k = 0; k < m_; ++k) {
+    double acc = v[k];
+    for (const auto& [j, uv] : u_cols_[k]) acc -= uv * v[j];
+    v[k] = acc / u_diag_[k];
+    work += static_cast<std::int64_t>(u_cols_[k].size());
+  }
+  // L^T backward solve: L's off-diagonals live at original rows r whose
+  // pivot positions pinv_[r] are strictly below j, already final here.
+  for (Index j = m_ - 1; j >= 0; --j) {
+    double acc = v[j];
+    for (const auto& [r, lv] : l_cols_[j]) acc -= lv * v[pinv_[r]];
+    v[j] = acc;
+    work += static_cast<std::int64_t>(l_cols_[j].size());
+  }
+  stats_.work_units += work;
+}
+
+void SparseSimplexBackend::btran_row(Index r, std::vector<double>& rho) {
+  work_m_.assign(m_, 0.0);
+  work_m_[r] = 1.0;
+  btran_apply(work_m_);
+  rho.assign(m_, 0.0);
+  rho_rows_.clear();
+  for (Index j = 0; j < m_; ++j) {
+    const double g = work_m_[j];
+    if (std::abs(g) <= kRhoDropTol) continue;
+    rho[prow_[j]] = g;
+    rho_rows_.push_back(prow_[j]);
+  }
+  stats_.work_units += 2 * static_cast<std::int64_t>(m_);
+}
+
+void SparseSimplexBackend::btran_costs(std::vector<double>& y) {
+  work_m_.assign(m_, 0.0);
+  bool any = false;
+  for (Index i = 0; i < m_; ++i) {
+    const double cb = sf_.cost[basis_[i]];
+    work_m_[i] = cb;
+    any = any || cb != 0.0;
+  }
+  y.assign(m_, 0.0);
+  if (!any) return;
+  btran_apply(work_m_);
+  for (Index j = 0; j < m_; ++j) y[prow_[j]] = work_m_[j];
+}
+
+void SparseSimplexBackend::compute_duals() {
+  std::vector<double> y;
+  btran_costs(y);
+  for (Index j = 0; j < n_; ++j) {
+    if (stat_[j] == VStat::kBasic) {
+      d_[j] = 0.0;
+    } else if (sf_.is_logical(j)) {
+      d_[j] = sf_.cost[j] - y[sf_.logical_row(j)];
+    } else {
+      double acc = 0.0;
+      for (std::size_t k = sf_.col_start[j]; k < sf_.col_start[j + 1]; ++k) {
+        acc += y[sf_.row_index[k]] * sf_.value[k];
+      }
+      d_[j] = sf_.cost[j] - acc;
+    }
+  }
+  stats_.work_units +=
+      static_cast<std::int64_t>(sf_.value.size()) + 2 * m_;
+}
+
+bool SparseSimplexBackend::eta_budget_exceeded() const {
+  return eta_nnz_ > kEtaBudgetFactor * (lu_nnz_ + static_cast<std::int64_t>(m_));
+}
+
+void SparseSimplexBackend::factorize() {
+  ++stats_.refactorizations;
+  pivots_since_refactor_ = 0;
+  etas_.clear();
+  eta_nnz_ = 0;
+  std::int64_t work = 0;
+  // Left-looking LU with partial pivoting over the current basis
+  // columns.  On a (near-)singular column, repair the basis exactly like
+  // the dense engine — evict the dependent column, substitute the free
+  // logical of a still-unpivoted original row — and restart; each repair
+  // makes strict progress, so at most m restarts terminate.
+  for (int attempt = 0; attempt < 1 + m_; ++attempt) {
+    std::fill(pinv_.begin(), pinv_.end(), Index{-1});
+    std::fill(col_ws_.begin(), col_ws_.end(), 0.0);
+    lu_nnz_ = 0;
+    bool repaired = false;
+    for (Index col = 0; col < m_ && !repaired; ++col) {
+      l_cols_[col].clear();
+      u_cols_[col].clear();
+      // Scatter basis column `col` into the dense row workspace.
+      const Index bj = basis_[col];
+      if (sf_.is_logical(bj)) {
+        col_ws_[sf_.logical_row(bj)] = 1.0;
+        ++work;
+      } else {
+        for (std::size_t k = sf_.col_start[bj]; k < sf_.col_start[bj + 1];
+             ++k) {
+          col_ws_[sf_.row_index[k]] = sf_.value[k];
+        }
+        work += static_cast<std::int64_t>(sf_.col_start[bj + 1] -
+                                          sf_.col_start[bj]);
+      }
+      // Eliminate with the already-built L columns in pivot order; the
+      // value standing at pivot row jj when reached is y[jj] — final,
+      // because later L columns never touch earlier pivot rows.
+      for (Index jj = 0; jj < col; ++jj) {
+        const double yj = col_ws_[prow_[jj]];
+        work_y_[jj] = yj;
+        if (yj == 0.0) continue;
+        for (const auto& [r, lv] : l_cols_[jj]) col_ws_[r] -= lv * yj;
+        work += static_cast<std::int64_t>(l_cols_[jj].size());
+      }
+      // Partial pivot among unpivoted original rows; scanning ascending
+      // makes the smallest row index win ties, deterministically.
+      Index piv_row = -1;
+      double piv_mag = 1e-10;
+      for (Index r = 0; r < m_; ++r) {
+        if (pinv_[r] >= 0) continue;
+        const double mag = std::abs(col_ws_[r]);
+        if (mag > piv_mag) {
+          piv_mag = mag;
+          piv_row = r;
+        }
+      }
+      work += 2 * static_cast<std::int64_t>(m_) + col;
+      if (piv_row < 0) {
+        // Dependent basis column: kick it out for the logical of an
+        // unpivoted original row that is not already basic.
+        const Index evicted = basis_[col];
+        Index replacement = kInvalidIndex;
+        for (Index r = 0; r < m_ && replacement == kInvalidIndex; ++r) {
+          if (pinv_[r] >= 0) continue;
+          const Index logical = sf_.num_structural + r;
+          if (logical == evicted) continue;
+          bool already = false;
+          for (Index c = 0; c < m_; ++c) {
+            if (basis_[c] == logical) {
+              already = true;
+              break;
+            }
+          }
+          if (!already) replacement = logical;
+        }
+        GMM_ASSERT(replacement != kInvalidIndex,
+                   "basis repair failed to find a free logical column");
+        stat_[evicted] = lb_[evicted] > -kInf ? VStat::kAtLower
+                         : ub_[evicted] < kInf ? VStat::kAtUpper
+                                               : VStat::kFree;
+        if (lb_[evicted] == ub_[evicted]) stat_[evicted] = VStat::kFixed;
+        basis_[col] = replacement;
+        stat_[replacement] = VStat::kBasic;
+        repaired = true;
+        break;
+      }
+      prow_[col] = piv_row;
+      pinv_[piv_row] = col;
+      u_diag_[col] = col_ws_[piv_row];
+      for (Index jj = 0; jj < col; ++jj) {
+        if (work_y_[jj] != 0.0) u_cols_[col].emplace_back(jj, work_y_[jj]);
+      }
+      const double inv_piv = 1.0 / u_diag_[col];
+      for (Index r = 0; r < m_; ++r) {
+        if (pinv_[r] >= 0 || col_ws_[r] == 0.0) continue;
+        l_cols_[col].emplace_back(r, col_ws_[r] * inv_piv);
+      }
+      lu_nnz_ += 1 + static_cast<std::int64_t>(u_cols_[col].size()) +
+                 static_cast<std::int64_t>(l_cols_[col].size());
+      std::fill(col_ws_.begin(), col_ws_.end(), 0.0);
+    }
+    if (!repaired) {
+      stats_.work_units += work;
+      return;
+    }
+  }
+  GMM_ASSERT(false, "factorize: repeated basis repair did not converge");
+}
+
+Index SparseSimplexBackend::select_leaving_row() {
+  if (m_ == 0) return -1;
+  if (bland_mode_) {
+    // Anti-cycling: full scan, smallest basic variable index wins.
+    Index leave_row = -1;
+    Index smallest_var = std::numeric_limits<Index>::max();
+    for (Index i = 0; i < m_; ++i) {
+      const Index bj = basis_[i];
+      const double v = xb_[i];
+      if (std::max(lb_[bj] - v, v - ub_[bj]) > kFeasTol && bj < smallest_var) {
+        smallest_var = bj;
+        leave_row = i;
+      }
+    }
+    stats_.work_units += m_;
+    return leave_row;
+  }
+  // Partial pricing: scan rotating sections of the basic rows and take
+  // the worst violation inside the first section that has one; only a
+  // primal-feasible basis pays the full O(m) scan.
+  const Index section = std::max<Index>(64, m_ / 8);
+  Index pos = price_cursor_ % m_;
+  Index scanned = 0;
+  while (scanned < m_) {
+    Index best = -1;
+    double worst = kFeasTol;
+    const Index block_end = std::min<Index>(scanned + section, m_);
+    for (; scanned < block_end; ++scanned) {
+      const Index i = pos;
+      pos = pos + 1 == m_ ? 0 : pos + 1;
+      const Index bj = basis_[i];
+      const double v = xb_[i];
+      const double viol = std::max(lb_[bj] - v, v - ub_[bj]);
+      if (viol > worst) {
+        worst = viol;
+        best = i;
+      }
+    }
+    if (best >= 0) {
+      price_cursor_ = pos;
+      stats_.work_units += scanned;
+      return best;
+    }
+  }
+  stats_.work_units += m_;
+  return -1;
+}
+
+SparseSimplexBackend::PivotResult SparseSimplexBackend::dual_pivot() {
+  // ---- 1. leaving row (partial pricing / Bland) -----------------------
+  const Index leave_row = select_leaving_row();
+  if (leave_row < 0) return PivotResult::kOptimal;
+
+  const Index leave_col = basis_[leave_row];
+  const bool above_upper = xb_[leave_row] > ub_[leave_col];
+  const double target_bound = above_upper ? ub_[leave_col] : lb_[leave_col];
+  const double sigma = above_upper ? 1.0 : -1.0;
+
+  // ---- 2. pivot row, sparsely -----------------------------------------
+  // rho = row leave_row of B^{-1}; alpha_j = rho . A_j accumulated by
+  // scattering only rho's nonzero rows through the CSR rows.  touched_
+  // ends up holding every column with alpha != 0 (and only those get a
+  // reduced-cost update below) — this is where per-pivot cost becomes
+  // proportional to nonzeros.
+  btran_row(leave_row, rho_);
+  if (++stamp_ == 0) {  // wraparound: old marks could collide, wipe them
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    stamp_ = 1;
+  }
+  touched_.clear();
+  std::int64_t scatter_work = 0;
+  for (const Index r : rho_rows_) {
+    const double rv = rho_[r];
+    const Index lj = sf_.num_structural + r;  // logical column: alpha = rho_r
+    if (mark_[lj] != stamp_) {
+      mark_[lj] = stamp_;
+      alpha_ws_[lj] = 0.0;
+      touched_.push_back(lj);
+    }
+    alpha_ws_[lj] += rv;
+    for (std::size_t k = csr_start_[r]; k < csr_start_[r + 1]; ++k) {
+      const Index j = csr_col_[k];
+      if (mark_[j] != stamp_) {
+        mark_[j] = stamp_;
+        alpha_ws_[j] = 0.0;
+        touched_.push_back(j);
+      }
+      alpha_ws_[j] += rv * csr_val_[k];
+    }
+    scatter_work +=
+        1 + static_cast<std::int64_t>(csr_start_[r + 1] - csr_start_[r]);
+  }
+  stats_.work_units += scatter_work;
+
+  // ---- 3. dual ratio test over the touched columns --------------------
+  // Same eligibility and Harris logic as the dense engine; see
+  // lp/simplex.cpp for the sign derivation.
+  double best_ratio = kInf;
+  bool any_eligible = false;
+  for (const Index j : touched_) {
+    if (!is_nonbasic(stat_[j])) continue;
+    const double a = alpha_ws_[j];
+    if (std::abs(a) <= kPivotTol) continue;
+    bool ok = false;
+    switch (stat_[j]) {
+      case VStat::kAtLower:
+        ok = sigma * a > 0.0;
+        break;
+      case VStat::kAtUpper:
+        ok = sigma * a < 0.0;
+        break;
+      case VStat::kFree:
+        ok = true;
+        break;
+      default:
+        break;
+    }
+    if (!ok) continue;
+    any_eligible = true;
+    best_ratio = std::min(best_ratio, std::max(sigma * d_[j] / a, 0.0));
+  }
+  if (!any_eligible) return PivotResult::kInfeasible;
+
+  Index enter_col = -1;
+  if (bland_mode_) {
+    // Smallest column index among (near-exact) minimizers.  touched_ is
+    // not sorted, so track the minimum explicitly.
+    for (const Index j : touched_) {
+      if (!is_nonbasic(stat_[j])) continue;
+      const double a = alpha_ws_[j];
+      if (std::abs(a) <= kPivotTol) continue;
+      const bool ok = stat_[j] == VStat::kFree ||
+                      (stat_[j] == VStat::kAtLower && sigma * a > 0.0) ||
+                      (stat_[j] == VStat::kAtUpper && sigma * a < 0.0);
+      if (!ok) continue;
+      const double ratio = std::max(sigma * d_[j] / a, 0.0);
+      if (ratio <= best_ratio + 1e-12 && (enter_col < 0 || j < enter_col)) {
+        enter_col = j;
+      }
+    }
+  } else {
+    const double cutoff = best_ratio + kHarrisSlack;
+    double enter_alpha_mag = 0.0;
+    for (const Index j : touched_) {
+      if (!is_nonbasic(stat_[j])) continue;
+      const double a = alpha_ws_[j];
+      if (std::abs(a) <= kPivotTol) continue;
+      const bool ok = stat_[j] == VStat::kFree ||
+                      (stat_[j] == VStat::kAtLower && sigma * a > 0.0) ||
+                      (stat_[j] == VStat::kAtUpper && sigma * a < 0.0);
+      if (!ok) continue;
+      const double ratio = std::max(sigma * d_[j] / a, 0.0);
+      if (ratio > cutoff) continue;
+      const double mag = std::abs(a);
+      // Largest |alpha| wins; smaller column index breaks exact ties so
+      // the unsorted touched_ order cannot leak into the pivot choice.
+      if (mag > enter_alpha_mag ||
+          (mag == enter_alpha_mag && enter_col >= 0 && j < enter_col)) {
+        enter_alpha_mag = mag;
+        enter_col = j;
+      }
+    }
+  }
+  GMM_ASSERT(enter_col >= 0, "dual ratio test selected no column");
+  const double alpha_q = alpha_ws_[enter_col];
+  stats_.work_units += 2 * static_cast<std::int64_t>(touched_.size());
+
+  // ---- 4. FTRAN and numerical cross-check ----------------------------
+  std::fill(w_.begin(), w_.end(), 0.0);
+  if (sf_.is_logical(enter_col)) {
+    w_[sf_.logical_row(enter_col)] = 1.0;
+  } else {
+    for (std::size_t k = sf_.col_start[enter_col];
+         k < sf_.col_start[enter_col + 1]; ++k) {
+      w_[sf_.row_index[k]] = sf_.value[k];
+    }
+  }
+  ftran_in_place(w_);
+  if (std::abs(w_[leave_row] - alpha_q) > 1e-6 * (1.0 + std::abs(alpha_q))) {
+    return PivotResult::kNumerical;
+  }
+  const double w_r = w_[leave_row];
+
+  // ---- 5. apply the pivot ---------------------------------------------
+  const double t = (xb_[leave_row] - target_bound) / w_r;  // step of x_q
+  const double theta = d_[enter_col] / w_r;                // dual step
+
+  if (theta != 0.0) {
+    for (const Index j : touched_) {
+      if (!is_nonbasic(stat_[j]) || j == enter_col) continue;
+      const double a = alpha_ws_[j];
+      if (a != 0.0) d_[j] -= theta * a;
+    }
+  }
+  d_[leave_col] = -theta;
+  d_[enter_col] = 0.0;
+
+  const double enter_value = nonbasic_value(enter_col) + t;
+  std::int64_t update_work = static_cast<std::int64_t>(touched_.size());
+  for (Index i = 0; i < m_; ++i) {
+    if (w_[i] != 0.0) xb_[i] -= t * w_[i];
+  }
+  xb_[leave_row] = enter_value;
+  update_work += m_;
+
+  stat_[enter_col] = VStat::kBasic;
+  if (lb_[leave_col] == ub_[leave_col]) {
+    stat_[leave_col] = VStat::kFixed;
+  } else {
+    stat_[leave_col] = above_upper ? VStat::kAtUpper : VStat::kAtLower;
+  }
+  basis_[leave_row] = enter_col;
+
+  // Product-form eta: E = I + u e_r^T with u_i = -w_i / w_r (i != r) and
+  // u_r = 1/w_r - 1, so that the next FTRAN/BTRAN sees B_new^{-1}.
+  Eta eta;
+  eta.r = leave_row;
+  const double inv_wr = 1.0 / w_r;
+  for (Index i = 0; i < m_; ++i) {
+    if (i == leave_row) continue;
+    if (w_[i] != 0.0) eta.u.emplace_back(i, -w_[i] * inv_wr);
+  }
+  eta.u.emplace_back(leave_row, inv_wr - 1.0);
+  eta_nnz_ += static_cast<std::int64_t>(eta.u.size());
+  update_work += static_cast<std::int64_t>(eta.u.size()) + m_;
+  etas_.push_back(std::move(eta));
+  stats_.work_units += update_work;
+
+  if (std::abs(theta) <= kDualTol) {
+    if (++degenerate_streak_ > std::max(stall_threshold_, m_ / 2)) {
+      bland_mode_ = true;
+    }
+  } else {
+    degenerate_streak_ = 0;
+    bland_mode_ = false;
+  }
+
+  ++pivots_since_refactor_;
+  ++stats_.iterations;
+  return PivotResult::kPivoted;
+}
+
+SolveStatus SparseSimplexBackend::solve(const SimplexOptions& options) {
+  support::WallTimer timer;
+  stall_threshold_ = options.stall_threshold;
+  std::int64_t iterations_this_call = 0;
+  int numerical_retries = 0;
+  while (true) {
+    if (iterations_this_call >= options.iteration_limit) {
+      return SolveStatus::kIterationLimit;
+    }
+    if ((iterations_this_call & 15) == 0 &&
+        timer.seconds() > options.time_limit_seconds) {
+      return SolveStatus::kTimeLimit;
+    }
+    if (pivots_since_refactor_ >= options.refactor_interval ||
+        eta_budget_exceeded()) {
+      factorize();
+      refresh_basic_solution();
+      compute_duals();
+    }
+    switch (dual_pivot()) {
+      case PivotResult::kOptimal:
+        return SolveStatus::kOptimal;
+      case PivotResult::kInfeasible:
+        return SolveStatus::kInfeasible;
+      case PivotResult::kPivoted:
+        ++iterations_this_call;
+        numerical_retries = 0;
+        break;
+      case PivotResult::kNumerical:
+        if (++numerical_retries > 3) return SolveStatus::kNumericalFailure;
+        factorize();
+        refresh_basic_solution();
+        compute_duals();
+        break;
+    }
+  }
+}
+
+double SparseSimplexBackend::objective_value() const {
+  double obj = 0.0;
+  for (Index i = 0; i < m_; ++i) obj += sf_.cost[basis_[i]] * xb_[i];
+  for (Index j = 0; j < n_; ++j) {
+    if (is_nonbasic(stat_[j]) && sf_.cost[j] != 0.0) {
+      obj += sf_.cost[j] * nonbasic_value(j);
+    }
+  }
+  return obj;
+}
+
+double SparseSimplexBackend::column_value(Index j) const {
+  if (stat_[j] == VStat::kBasic) {
+    for (Index i = 0; i < m_; ++i) {
+      if (basis_[i] == j) return xb_[i];
+    }
+    GMM_ASSERT(false, "basic column missing from basis array");
+  }
+  return nonbasic_value(j);
+}
+
+std::vector<double> SparseSimplexBackend::structural_solution() const {
+  std::vector<double> x(sf_.num_structural);
+  for (Index j = 0; j < sf_.num_structural; ++j) {
+    x[j] = stat_[j] == VStat::kBasic ? 0.0 : nonbasic_value(j);
+  }
+  for (Index i = 0; i < m_; ++i) {
+    if (basis_[i] < sf_.num_structural) x[basis_[i]] = xb_[i];
+  }
+  return x;
+}
+
+}  // namespace gmm::lp

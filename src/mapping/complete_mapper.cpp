@@ -278,6 +278,7 @@ CompleteResult map_complete(const design::Design& design,
   result.effort.solve_seconds = timer.seconds();
   result.effort.bnb_nodes = result.mip.nodes;
   result.effort.lp_iterations = result.mip.lp_iterations;
+  result.effort.lp_refactorizations = result.mip.simplex_refactorizations;
   result.effort.basis = result.mip.basis;
   result.status = result.mip.status;
   if (!result.mip.has_incumbent()) return result;

@@ -111,6 +111,38 @@ GlobalResult map_global(const design::Design& design,
     }
   }
 
+  // ---- mined variable cliques for the root cut loop ----------------------
+  // Within one conflict clique and one type, every member draws on the
+  // same port and capacity rows, so any two structures whose demands each
+  // exceed HALF the budget are mutually exclusive: at most one of their
+  // Z_dt can be 1.  Handing those variable cliques to the MIP solver lets
+  // its root loop add sum Z <= 1 rows the knapsack relaxation cannot see
+  // (fractional Z's split a budget the integer solution cannot).
+  std::vector<std::vector<lp::Index>> var_cliques;
+  for (std::size_t t = 0; t < num_types; ++t) {
+    const std::int64_t total_ports = board.type(t).total_ports();
+    const std::int64_t total_bits = board.type(t).total_bits();
+    for (const auto& clique : cliques) {
+      std::vector<lp::Index> heavy_ports, heavy_bits;
+      for (const std::size_t d : clique) {
+        if (z[d][t] == lp::kInvalidIndex) continue;
+        const PlacementPlan& plan = table.plan(d, t);
+        if (2 * plan.cp > total_ports) heavy_ports.push_back(z[d][t]);
+        if (2 * plan.cw * plan.cd > total_bits) {
+          heavy_bits.push_back(z[d][t]);
+        }
+      }
+      // Figure-3 port estimates usually dominate capacity, so the bits
+      // clique is often identical to the ports one; drop the duplicate.
+      if (heavy_bits.size() >= 2 && heavy_bits != heavy_ports) {
+        var_cliques.push_back(std::move(heavy_bits));
+      }
+      if (heavy_ports.size() >= 2) {
+        var_cliques.push_back(std::move(heavy_ports));
+      }
+    }
+  }
+
   // ---- retry cuts ---------------------------------------------------------
   for (const auto& cut : options.no_good_cuts) {
     lp::LinExpr expr;
@@ -139,6 +171,9 @@ GlobalResult map_global(const design::Design& design,
   // near-optimal plateaus these port/capacity knapsacks produce.
   ilp::MipOptions mip_options = options.mip;
   mip_options.heuristic_period = 1;
+  for (auto& q : var_cliques) {
+    mip_options.conflict_cliques.push_back(std::move(q));
+  }
   if (!mip_options.primal_heuristic) {
     mip_options.primal_heuristic =
         [&model, &board, &table, &z, &design, num_ds,
@@ -259,6 +294,7 @@ GlobalResult map_global(const design::Design& design,
   result.effort.solve_seconds = timer.seconds();
   result.effort.bnb_nodes = result.mip.nodes;
   result.effort.lp_iterations = result.mip.lp_iterations;
+  result.effort.lp_refactorizations = result.mip.simplex_refactorizations;
   result.effort.basis = result.mip.basis;
   result.status = result.mip.status;
   if (!result.mip.has_incumbent()) return result;

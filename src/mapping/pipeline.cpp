@@ -38,6 +38,7 @@ PipelineResult map_pipeline(const design::Design& design,
     result.effort.solve_seconds += global.effort.solve_seconds;
     result.effort.bnb_nodes += global.effort.bnb_nodes;
     result.effort.lp_iterations += global.effort.lp_iterations;
+    result.effort.lp_refactorizations += global.effort.lp_refactorizations;
     result.effort.basis += global.effort.basis;
     result.mip = std::move(global.mip);
     result.status = global.status;

@@ -21,6 +21,7 @@ void accumulate(SolveEffort& into, const SolveEffort& add) {
   into.detailed_seconds += add.detailed_seconds;
   into.bnb_nodes += add.bnb_nodes;
   into.lp_iterations += add.lp_iterations;
+  into.lp_refactorizations += add.lp_refactorizations;
   into.basis += add.basis;
 }
 

@@ -26,6 +26,7 @@ void accumulate(SolveEffort& into, const SolveEffort& from) {
   into.detailed_seconds += from.detailed_seconds;
   into.bnb_nodes += from.bnb_nodes;
   into.lp_iterations += from.lp_iterations;
+  into.lp_refactorizations += from.lp_refactorizations;
   into.basis += from.basis;
 }
 

@@ -587,6 +587,7 @@ void MappingService::run_map(const std::string& id, int version,
     ++stats_.solves;
     stats_.nodes += total_effort.bnb_nodes;
     stats_.lp_iterations += total_effort.lp_iterations;
+    stats_.refactorizations += total_effort.lp_refactorizations;
     stats_.basis += total_effort.basis;
     if (request.sharded) {
       ++stats_.sharded_requests;

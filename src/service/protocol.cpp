@@ -213,6 +213,7 @@ Json Response::to_json() const {
     solver["solves"] = stats.solves;
     solver["nodes"] = stats.nodes;
     solver["lp_iterations"] = stats.lp_iterations;
+    solver["refactorizations"] = stats.refactorizations;
     solver["sharded_requests"] = stats.sharded_requests;
     solver["shard_solves"] = stats.shard_solves;
     solver["bases_stored"] = stats.basis.stored;
@@ -344,6 +345,7 @@ bool Response::from_json(const Json& value, Response& out) {
       out.stats.solves = scount("solves");
       out.stats.nodes = scount("nodes");
       out.stats.lp_iterations = scount("lp_iterations");
+      out.stats.refactorizations = scount("refactorizations");
       out.stats.sharded_requests = scount("sharded_requests");
       out.stats.shard_solves = scount("shard_solves");
       out.stats.basis.stored = scount("bases_stored");

@@ -133,6 +133,7 @@ struct ServiceStats {
   std::int64_t solves = 0;
   std::int64_t nodes = 0;          // branch & bound nodes
   std::int64_t lp_iterations = 0;  // dual-simplex pivots
+  std::int64_t refactorizations = 0;  // LP basis (re)factorizations
   // Multi-device sharding: "sharded"-formulation requests solved, and
   // the per-device candidate pipelines they fanned out in total.
   std::int64_t sharded_requests = 0;

@@ -32,10 +32,12 @@ namespace {
 using lp::SolveStatus;
 
 mapping::GlobalOptions exact_options(int threads,
-                                     std::size_t max_stored_bases = 4096) {
+                                     std::size_t max_stored_bases = 4096,
+                                     lp::LpEngine engine = lp::LpEngine::kDense) {
   mapping::GlobalOptions options;
   options.mip.num_threads = threads;
   options.mip.max_stored_bases = max_stored_bases;
+  options.mip.lp_engine = engine;
   options.mip.rel_gap = 0.0;
   // 0.5 is EXACT for the integer-valued mapping objectives (any strictly
   // better incumbent improves by >= 1, so nothing optimal is ever
@@ -100,13 +102,54 @@ TEST_P(Table3Determinism, IdenticalObjectivesAcrossThreadsAndCacheModes) {
   }
 }
 
+TEST_P(Table3Determinism, IdenticalObjectivesAcrossBackendsAndThreads) {
+  // The lp::LpBackend contract crossed with the parallel-search contract:
+  // every (engine, thread count) cell of the grid proves the SAME optimum
+  // as the serial dense reference, exactly.  The sparse revised simplex
+  // pivots through different intermediate bases than the dense tableau
+  // (different tie-breaking among degenerate vertices is fine), but an
+  // optimum it proves is an optimum, so the objective may not move.
+  const workload::Table3Point& point =
+      workload::table3_points()[static_cast<std::size_t>(GetParam())];
+  const workload::Table3Instance instance = workload::build_instance(point);
+  const mapping::CostTable table(instance.design, instance.board);
+
+  const mapping::GlobalResult reference = mapping::map_global(
+      instance.design, instance.board, table, exact_options(1));
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal) << "point " << point.index;
+
+  for (const lp::LpEngine engine :
+       {lp::LpEngine::kDense, lp::LpEngine::kSparse}) {
+    for (const int threads : {1, 2, 8}) {
+      if (engine == lp::LpEngine::kDense && threads == 1) continue;
+      const mapping::GlobalResult cell = mapping::map_global(
+          instance.design, instance.board, table,
+          exact_options(threads, 4096, engine));
+      ASSERT_EQ(cell.status, SolveStatus::kOptimal)
+          << "point " << point.index << ", " << lp::to_string(engine) << ", "
+          << threads << " threads";
+      EXPECT_EQ(cell.assignment.objective, reference.assignment.objective)
+          << "point " << point.index << ", " << lp::to_string(engine) << ", "
+          << threads << " threads";
+      ASSERT_TRUE(cell.assignment.complete());
+      EXPECT_EQ(table.assignment_objective(cell.assignment.type_of),
+                reference.assignment.objective)
+          << "point " << point.index << ", " << lp::to_string(engine) << ", "
+          << threads << " threads";
+    }
+  }
+}
+
 // Every Table-3 experiment point that solves at test-tier speed
 // (milliseconds to ~300 ms per thread count).  Index 5 — the paper's
 // point 6, 62 segments on the 65-bank board — is excluded: its LP
 // relaxation sits a few units below the integer optimum over a deeply
 // symmetric space, so any proof (exact or default-gap) takes tens of
 // seconds per solve; it was also the paper's slowest global instance
-// relative to size.  bench_03 sweeps all nine points including it.
+// relative to size.  That holds even on the sparse revised simplex (it
+// cuts arithmetic ~10x but the tree is millions of nodes either way),
+// so it stays out of the unit tier: bench_03 sweeps all nine points,
+// and bench_09's LP-engine A/B solves point 6 to proof on both engines.
 INSTANTIATE_TEST_SUITE_P(TractablePoints, Table3Determinism,
                          ::testing::Values(0, 1, 2, 3, 4, 6, 7, 8));
 
@@ -121,12 +164,16 @@ TEST(Table3Determinism, SerialRunsAreBitwiseIdentical) {
   const workload::Table3Instance instance =
       workload::build_instance(workload::table3_points()[2]);
   const mapping::CostTable table(instance.design, instance.board);
+  for (const lp::LpEngine engine :
+       {lp::LpEngine::kDense, lp::LpEngine::kSparse})
   for (const std::size_t cap : {std::size_t{4096}, std::size_t{0},
                                 std::size_t{3}}) {
     const mapping::GlobalResult a = mapping::map_global(
-        instance.design, instance.board, table, exact_options(1, cap));
+        instance.design, instance.board, table,
+        exact_options(1, cap, engine));
     const mapping::GlobalResult b = mapping::map_global(
-        instance.design, instance.board, table, exact_options(1, cap));
+        instance.design, instance.board, table,
+        exact_options(1, cap, engine));
     ASSERT_EQ(a.status, SolveStatus::kOptimal) << "cap " << cap;
     EXPECT_EQ(a.assignment.objective, b.assignment.objective) << "cap " << cap;
     EXPECT_EQ(a.assignment.type_of, b.assignment.type_of) << "cap " << cap;

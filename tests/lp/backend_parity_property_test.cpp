@@ -1,0 +1,198 @@
+// Differential property tests between the two LpBackend implementations
+// (300 seeds per property): the dense tableau engine is the oracle, the
+// sparse revised simplex must agree.
+//
+//   1. Random bounded LPs — identical status, and identical optimal
+//      objectives to tolerance.  The generator deliberately produces
+//      DEGENERATE instances (rows tight at the optimum with ties) and
+//      REDUNDANT rows (duplicated constraints, which make the basis
+//      matrix rank-deficient enough to exercise singular-basis repair).
+//   2. Possibly-infeasible instances (a random equality pair can
+//      contradict) — the two backends must agree on kOptimal vs
+//      kInfeasible, and on the objective when optimal.
+//   3. Cross-backend basis portability: a snapshot taken from one
+//      backend loads into the other and re-solves to the same optimum —
+//      the Basis is pure status, so the warm-start cache can be shared
+//      across engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "lp/lp_backend.hpp"
+#include "lp/model.hpp"
+#include "lp/standard_form.hpp"
+#include "support/rng.hpp"
+
+namespace gmm::lp {
+namespace {
+
+constexpr int kSeeds = 300;
+
+/// Random bounded LP with adversarial structure: integer data (exact
+/// ties), rows tight at the box midpoint with probability 1/3 (primal
+/// degeneracy), and each row duplicated with probability 1/5 (redundant
+/// rows -> dependent basis columns).  Always feasible and bounded.
+Model random_lp(int vars, int rows, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Model model;
+  for (int j = 0; j < vars; ++j) {
+    model.add_variable(0, 10, static_cast<double>(rng.uniform_int(-10, 10)));
+  }
+  for (int i = 0; i < rows; ++i) {
+    LinExpr expr;
+    double mid = 0;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.bernoulli(0.4)) {
+        const double a = static_cast<double>(rng.uniform_int(-5, 5));
+        if (a != 0) {
+          expr.add(j, a);
+          mid += 5 * a;
+        }
+      }
+    }
+    if (expr.empty()) {
+      expr.add(static_cast<Index>(rng.uniform_int(0, vars - 1)), 1.0);
+      mid = 5.0;
+    }
+    const double slack =
+        rng.bernoulli(1.0 / 3.0)
+            ? 0.0  // tight at the midpoint: degenerate vertex candidates
+            : static_cast<double>(rng.uniform_int(1, 30));
+    model.add_constraint(expr, Sense::kLessEqual, mid + slack);
+    if (rng.bernoulli(0.2)) {
+      model.add_constraint(expr, Sense::kLessEqual, mid + slack);  // redundant
+    }
+  }
+  return model;
+}
+
+/// Like random_lp but with a pair of equality rows over the same
+/// expression whose right-hand sides differ with probability 1/2 —
+/// an exactly-contradictory (infeasible) system when they do.
+Model random_maybe_infeasible_lp(int vars, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Model model = random_lp(vars, static_cast<int>(rng.uniform_int(1, 6)),
+                          seed ^ 0x9e3779b97f4a7c15ull);
+  LinExpr expr;
+  for (int j = 0; j < vars; ++j) {
+    expr.add(j, static_cast<double>(rng.uniform_int(1, 3)));
+  }
+  const double rhs = static_cast<double>(rng.uniform_int(1, 20 * vars));
+  model.add_constraint(expr, Sense::kEqual, rhs);
+  const double rhs2 = rng.bernoulli(0.5)
+                          ? rhs
+                          : rhs + static_cast<double>(rng.uniform_int(1, 5));
+  model.add_constraint(expr, Sense::kEqual, rhs2);
+  return model;
+}
+
+struct Dims {
+  int vars = 0;
+  int rows = 0;
+};
+
+Dims random_dims(support::Rng& rng) {
+  return {static_cast<int>(rng.uniform_int(2, 14)),
+          static_cast<int>(rng.uniform_int(1, 10))};
+}
+
+TEST(BackendParityProperty, RandomLpsAgreeOnStatusAndObjective) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed);
+    const Dims dims = random_dims(rng);
+    const Model model = random_lp(dims.vars, dims.rows, seed * 7919);
+    const StandardForm sf = StandardForm::build(model);
+
+    const auto dense = make_lp_backend(LpEngine::kDense, sf);
+    const auto sparse = make_lp_backend(LpEngine::kSparse, sf);
+    const SolveStatus ds = dense->solve({});
+    const SolveStatus ss = sparse->solve({});
+    ASSERT_EQ(ds, SolveStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(ss, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(sparse->objective_value(), dense->objective_value(),
+                1e-6 * (1.0 + std::abs(dense->objective_value())))
+        << "seed " << seed;
+  }
+}
+
+TEST(BackendParityProperty, InfeasibleInstancesAgree) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed + 2'000'000);
+    const int vars = static_cast<int>(rng.uniform_int(2, 10));
+    const Model model = random_maybe_infeasible_lp(vars, seed * 104729);
+    const StandardForm sf = StandardForm::build(model);
+
+    const auto dense = make_lp_backend(LpEngine::kDense, sf);
+    const auto sparse = make_lp_backend(LpEngine::kSparse, sf);
+    const SolveStatus ds = dense->solve({});
+    const SolveStatus ss = sparse->solve({});
+    EXPECT_EQ(ds, ss) << "seed " << seed;
+    if (ds == SolveStatus::kOptimal && ss == SolveStatus::kOptimal) {
+      EXPECT_NEAR(sparse->objective_value(), dense->objective_value(),
+                  1e-6 * (1.0 + std::abs(dense->objective_value())))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(BackendParityProperty, BasesPortAcrossBackends) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed + 4'000'000);
+    const Dims dims = random_dims(rng);
+    const Model model = random_lp(dims.vars, dims.rows, seed * 15485863);
+    const StandardForm sf = StandardForm::build(model);
+
+    const auto from =
+        make_lp_backend(seed % 2 ? LpEngine::kDense : LpEngine::kSparse, sf);
+    const auto to =
+        make_lp_backend(seed % 2 ? LpEngine::kSparse : LpEngine::kDense, sf);
+    ASSERT_EQ(from->solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    to->load_basis(from->snapshot_basis());
+    ASSERT_EQ(to->solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(to->objective_value(), from->objective_value(),
+                1e-7 * (1.0 + std::abs(from->objective_value())))
+        << "seed " << seed;
+    // An optimal basis under unchanged bounds is primal and dual
+    // feasible in either engine: no pivots needed on the receiving side.
+    EXPECT_EQ(to->stats().iterations, 0) << "seed " << seed;
+  }
+}
+
+TEST(BackendParityProperty, BranchStyleBoundChangesAgreeAfterWarmRestart) {
+  // The branch & bound hot path: solve, snapshot, tighten one bound,
+  // refresh, re-solve warm.  Both backends must land on the same
+  // objective (or both detect infeasibility of the tightened child).
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed + 6'000'000);
+    const Dims dims = random_dims(rng);
+    const Model model = random_lp(dims.vars, dims.rows, seed * 32452843);
+    const StandardForm sf = StandardForm::build(model);
+
+    const auto dense = make_lp_backend(LpEngine::kDense, sf);
+    const auto sparse = make_lp_backend(LpEngine::kSparse, sf);
+    ASSERT_EQ(dense->solve({}), SolveStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(sparse->solve({}), SolveStatus::kOptimal) << "seed " << seed;
+
+    const Index j = static_cast<Index>(rng.uniform_int(0, dims.vars - 1));
+    const bool up = rng.bernoulli(0.5);
+    const double lb = up ? 6.0 : 0.0;
+    const double ub = up ? 10.0 : 4.0;
+    dense->set_column_bounds(j, lb, ub);
+    sparse->set_column_bounds(j, lb, ub);
+    dense->refresh_basic_solution();
+    sparse->refresh_basic_solution();
+    const SolveStatus ds = dense->solve({});
+    const SolveStatus ss = sparse->solve({});
+    EXPECT_EQ(ds, ss) << "seed " << seed;
+    if (ds == SolveStatus::kOptimal && ss == SolveStatus::kOptimal) {
+      EXPECT_NEAR(sparse->objective_value(), dense->objective_value(),
+                  1e-6 * (1.0 + std::abs(dense->objective_value())))
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmm::lp

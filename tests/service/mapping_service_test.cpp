@@ -303,7 +303,12 @@ TEST(MappingService, StatsMethodReportsRequestAndSolverCounters) {
 
   // One cold solve, one exact resubmission (a cache replay, not a
   // solve), and one pre-expired deadline (never reaches the solver).
+  // Drain between the cold solve and the resubmission: with 2 workers
+  // the service runs back-to-back submissions concurrently, and "b"
+  // would race "a"'s cache insert — this test pins the stats contract,
+  // not in-flight dedup (which the service deliberately does not do).
   service.handle(map_request("a", quick_design_text()));
+  service.drain();
   service.handle(map_request("b", quick_design_text()));
   service.handle(map_request("late", quick_design_text(), 0.0));
   service.drain();
