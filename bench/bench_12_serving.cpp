@@ -16,6 +16,16 @@
 //   GMM_BENCH_SERVE_QUEUE        server admission bound (default 32)
 //   GMM_BENCH_SERVE_DEADLINE_MS  per-request deadline (default 2000)
 //   GMM_BENCH_SERVE_SEGMENTS    segments per generated design (default 8)
+//
+// After the rate sweep an OVERLOAD point runs against a second server
+// with the degradation plane armed (--shed-delay-ms, --watchdog-ms) and
+// a benign fault schedule, at an arrival rate far above capacity; the
+// "overload" record captures shed_rate, p99_under_faults_ms, and
+// retry-after honesty (did a retry that waited out the hint get in?).
+//   GMM_BENCH_SERVE_OVERLOAD_RATE      arrival rate (default 300 req/s)
+//   GMM_BENCH_SERVE_OVERLOAD_REQUESTS  requests (default 150)
+//   GMM_BENCH_SERVE_OVERLOAD_SEGMENTS  segments per design (default 24,
+//                                      solved with formulation=complete)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -293,7 +303,209 @@ int main() {
     closer.send_line(R"({"method":"shutdown"})");
     closer.read_line(30.0);
   }
-  const int exit_code = server.wait_exit(30.0);
+  int exit_code = server.wait_exit(30.0);
+
+  // ---- overload point ------------------------------------------------
+  // A second server with the degradation plane armed (delay-keyed
+  // shedding, stall watchdog) and a BENIGN fault schedule (partial
+  // writes, LU sabotage — absorbed internally, no connection kills),
+  // driven far past capacity.  Reported: shed rate, p99 under faults,
+  // and retry-after HONESTY — after waiting out the hint on a shed
+  // response, does a retry get accepted?
+  const int over_rate = static_cast<int>(
+      env_int("GMM_BENCH_SERVE_OVERLOAD_RATE", 1, 100000, 300));
+  const int over_requests = static_cast<int>(
+      env_int("GMM_BENCH_SERVE_OVERLOAD_REQUESTS", 1, 1'000'000, 150));
+  // Heavier designs than the latency phases: the point is a server whose
+  // capacity is far BELOW the arrival rate, so queue delay builds and the
+  // shedding plane engages.
+  std::vector<std::string> over_designs;
+  for (int i = 0; i < 8; ++i) {
+    workload::DesignGenOptions gen;
+    gen.num_segments = env_int("GMM_BENCH_SERVE_OVERLOAD_SEGMENTS", 2, 64, 24);
+    gen.seed = bench::env_seed() + 1000 + static_cast<std::uint64_t>(i);
+    over_designs.push_back(design::design_to_string(
+        workload::generate_design(board, gen)));
+  }
+  const std::string over_socket = socket_path + ".overload";
+  service::ProcessClient over_server;
+  if (!over_server.start(
+          GMM_MAPPER_SERVE_PATH,
+          {board_file, "--workers", "2", "--queue", "16", "--listen",
+           over_socket, "--shed-delay-ms", "25", "--watchdog-ms", "2000",
+           "--faults",
+           "seed=5,socket.write:partial@0.05,lu.refactor:singular@0.01"})) {
+    std::fprintf(stderr, "cannot spawn overload server; skipping phase\n");
+    std::remove(board_file.c_str());
+    std::printf("\nJSON mirror: %s\n", json.path().c_str());
+    return exit_code == 0 ? 0 : 1;
+  }
+  if (!over_server.read_line(60.0).has_value()) {
+    std::fprintf(stderr, "overload server printed no listening event\n");
+    return 1;
+  }
+  {
+    constexpr int kOverClients = 4;
+    std::vector<std::unique_ptr<service::ProcessClient>> conns;
+    for (int c = 0; c < kOverClients; ++c) {
+      conns.push_back(std::make_unique<service::ProcessClient>());
+      if (!conns.back()->connect(over_socket)) {
+        std::fprintf(stderr, "overload client %d cannot connect\n", c);
+        return 1;
+      }
+    }
+    struct OverOutcome {
+      double latency_ms = 0.0;
+      service::ResponseStatus status = service::ResponseStatus::kError;
+      std::int64_t retry_after_ms = 0;
+      bool received = false;
+    };
+    std::vector<OverOutcome> outcomes(
+        static_cast<std::size_t>(over_requests));
+    std::vector<int> per_conn(kOverClients, 0);
+    for (int i = 0; i < over_requests; ++i) ++per_conn[i % kOverClients];
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> readers;
+    for (int c = 0; c < kOverClients; ++c) {
+      readers.emplace_back([&, c] {
+        service::ProcessClient& conn = *conns[static_cast<std::size_t>(c)];
+        for (int remaining = per_conn[static_cast<std::size_t>(c)];
+             remaining > 0;) {
+          const auto line = conn.read_line(120.0);
+          if (!line.has_value()) return;
+          const service::JsonParseResult parsed = service::parse_json(*line);
+          if (!parsed.ok) continue;
+          service::Response response;
+          if (!service::Response::from_json(parsed.value, response) ||
+              response.method != "map") {
+            continue;
+          }
+          std::int64_t index = -1;
+          if (!support::parse_int(response.id.substr(1), index)) continue;
+          OverOutcome& outcome = outcomes[static_cast<std::size_t>(index)];
+          outcome.latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count() -
+              static_cast<double>(index) / over_rate * 1000.0;
+          outcome.status = response.status;
+          outcome.retry_after_ms = response.retry_after_ms;
+          outcome.received = true;
+          --remaining;
+        }
+      });
+    }
+    for (int i = 0; i < over_requests; ++i) {
+      const double arrival_s =
+          static_cast<double>(i) / static_cast<double>(over_rate);
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(arrival_s)));
+      service::JsonObject request;
+      request["v"] = 2;
+      request["id"] = "o" + std::to_string(i);
+      request["method"] = std::string("map");
+      request["design_text"] =
+          over_designs[static_cast<std::size_t>(i) % over_designs.size()];
+      // The flat one-ILP formulation: orders of magnitude slower than the
+      // pipeline on the same design, which is the point — capacity must
+      // sit far below the arrival rate for shedding to engage.
+      request["formulation"] = std::string("complete");
+      request["deadline_ms"] = deadline_ms;
+      if (!conns[static_cast<std::size_t>(i % kOverClients)]->send_line(
+              service::Json(std::move(request)).dump())) {
+        std::fprintf(stderr, "overload send failed at request %d\n", i);
+        break;
+      }
+    }
+    for (std::thread& t : readers) t.join();
+
+    std::vector<double> latencies;
+    std::int64_t ok = 0, shed = 0, timeout = 0, error = 0;
+    std::vector<std::int64_t> shed_hints;
+    for (const OverOutcome& outcome : outcomes) {
+      if (!outcome.received) continue;
+      latencies.push_back(outcome.latency_ms);
+      switch (outcome.status) {
+        case service::ResponseStatus::kOk:
+          ++ok;
+          break;
+        case service::ResponseStatus::kRejected:
+          ++shed;
+          shed_hints.push_back(outcome.retry_after_ms);
+          break;
+        case service::ResponseStatus::kTimeout:
+          ++timeout;
+          break;
+        default:
+          ++error;
+          break;
+      }
+    }
+    // Retry-after honesty: wait out the LARGEST hint the storm produced,
+    // then retry one request per shed response (fresh ids, sequential).
+    // An honest hint means the backlog has drained by then and retries
+    // are accepted.
+    std::int64_t retried = 0, retry_accepted = 0;
+    if (!shed_hints.empty()) {
+      std::int64_t max_hint = 0;
+      for (const std::int64_t hint : shed_hints) {
+        max_hint = std::max(max_hint, hint);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(max_hint));
+      service::ProcessClient& conn = *conns[0];
+      const std::size_t retries = std::min<std::size_t>(shed_hints.size(), 20);
+      for (std::size_t i = 0; i < retries; ++i) {
+        service::JsonObject request;
+        request["v"] = 2;
+        request["id"] = "y" + std::to_string(i);
+        request["method"] = std::string("map");
+        request["design_text"] = over_designs[i % over_designs.size()];
+        request["formulation"] = std::string("complete");
+        request["deadline_ms"] = deadline_ms;
+        if (!conn.send_line(service::Json(std::move(request)).dump())) break;
+        const auto line = conn.read_line(60.0);
+        if (!line.has_value()) break;
+        ++retried;
+        service::Response response;
+        const service::JsonParseResult parsed = service::parse_json(*line);
+        if (parsed.ok && service::Response::from_json(parsed.value, response) &&
+            response.status != service::ResponseStatus::kRejected) {
+          ++retry_accepted;
+        }
+      }
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    const double p99 = percentile(latencies, 0.99);
+    const double n = static_cast<double>(over_requests);
+    const double shed_rate = static_cast<double>(shed) / n;
+    const double retry_success =
+        retried > 0 ? static_cast<double>(retry_accepted) /
+                          static_cast<double>(retried)
+                    : 0.0;
+    std::printf("\noverload point: rate %d rps, %d requests, shed %.1f%%, "
+                "p99 %.2f ms (under faults), retry-after honesty %lld/%lld\n",
+                over_rate, over_requests, 100.0 * shed_rate, p99,
+                static_cast<long long>(retry_accepted),
+                static_cast<long long>(retried));
+    json.write("overload",
+               {bench::jnum("rate_rps", static_cast<double>(over_rate)),
+                bench::jint("requests", over_requests),
+                bench::jint("ok", ok), bench::jint("shed", shed),
+                bench::jint("timeout", timeout), bench::jint("error", error),
+                bench::jnum("shed_rate", shed_rate),
+                bench::jnum("p99_under_faults_ms", p99),
+                bench::jint("retry_attempts", retried),
+                bench::jint("retry_accepted", retry_accepted),
+                bench::jnum("retry_success_rate", retry_success)});
+  }
+  service::ProcessClient over_closer;
+  if (over_closer.connect(over_socket)) {
+    over_closer.send_line(R"({"method":"shutdown"})");
+    over_closer.read_line(30.0);
+  }
+  if (over_server.wait_exit(30.0) != 0) exit_code = 1;
+
   std::remove(board_file.c_str());
   std::printf("\nJSON mirror: %s\n", json.path().c_str());
   return exit_code == 0 ? 0 : 1;

@@ -17,6 +17,20 @@
 //   --connect SPEC     client bridge: relay stdin jsonl to a listening
 //                      server and its responses to stdout (stdin EOF
 //                      half-closes; exits when the server closes)
+//   --shed-delay-ms N  adaptive overload shedding: reject new requests
+//                      when the observed queue delay EWMA exceeds N ms
+//                      (default 0 = off; rejections carry retry_after_ms)
+//   --watchdog-ms N    stall watchdog window: a running solve whose
+//                      progress counter is flat for N ms terminates with
+//                      status "stalled" (default 0 = off)
+//   --max-inflight N   per-client in-flight quota on socket connections
+//                      (default 0 = off; excess maps are rejected at the
+//                      transport with a retry_after_ms hint)
+//   --faults SPEC      arm the deterministic fault injector (see README
+//                      "Operating under failure" for the grammar, e.g.
+//                      "seed=7,socket.write:partial@0.05"); without the
+//                      flag the GMM_FAULTS environment variable is
+//                      consulted; unset/empty leaves every site disarmed
 //   --verbose          log at info level (logs go to stderr; stdout
 //                      carries only protocol lines)
 //
@@ -25,6 +39,7 @@
 // "board_text".  See README "Mapping service" for the protocol and
 // examples/serve_demo.sh for a scripted session.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,6 +49,7 @@
 #include "arch/arch_io.hpp"
 #include "service/serve_loop.hpp"
 #include "service/socket_server.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/string_util.hpp"
 
@@ -43,7 +59,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [board-file]... [--workers N] [--queue N] "
                "[--threads N] [--cache N] [--listen SPEC] [--max-clients N] "
-               "[--connect SPEC] [--verbose]\n",
+               "[--connect SPEC] [--shed-delay-ms N] [--watchdog-ms N] "
+               "[--max-inflight N] [--faults SPEC] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -59,6 +76,8 @@ int main(int argc, char** argv) {
   service::ServiceOptions options;
   service::SocketServerOptions socket_options;
   std::string connect_spec;
+  std::string fault_spec;
+  bool saw_faults_flag = false;
   std::vector<const char*> board_files;
   for (int i = 1; i < argc; ++i) {
     std::int64_t value = 0;
@@ -87,6 +106,18 @@ int main(int argc, char** argv) {
       socket_options.max_clients = static_cast<std::size_t>(value);
     } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--shed-delay-ms") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 3'600'000, value)) return usage(argv[0]);
+      options.shed_queue_delay_ms = static_cast<double>(value);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 3'600'000, value)) return usage(argv[0]);
+      options.watchdog_window_ms = static_cast<double>(value);
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1'000'000, value)) return usage(argv[0]);
+      socket_options.max_inflight_per_client = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_spec = argv[++i];
+      saw_faults_flag = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       support::set_log_level(support::LogLevel::kInfo);
     } else if (argv[i][0] == '-') {
@@ -100,6 +131,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!connect_spec.empty()) return service::run_socket_client(connect_spec);
+
+  // Arm the fault injector explicitly, never at static init: --faults
+  // wins, then GMM_FAULTS; a malformed spec is a startup error (silently
+  // serving without the faults an operator asked for would be worse).
+  if (!saw_faults_flag) {
+    if (const char* env = std::getenv("GMM_FAULTS")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    std::string fault_error;
+    if (!support::global_faults().arm(fault_spec, fault_error)) {
+      std::fprintf(stderr, "bad fault spec: %s\n", fault_error.c_str());
+      return 2;
+    }
+    GMM_LOG(kWarn) << "fault injection armed: "
+                   << support::global_faults().spec_string();
+  }
 
   std::vector<arch::Board> boards;
   boards.reserve(board_files.size());

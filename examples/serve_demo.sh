@@ -129,3 +129,52 @@ if [ -z "$COLD_COST" ] || [ "$COLD_COST" != "$WARM_COST" ]; then
   echo "serve_demo: cached replay cost '$WARM_COST' != cold cost '$COLD_COST'" >&2
   exit 1
 fi
+
+# ---- operating under failure ----------------------------------------------
+# A server armed with a benign deterministic fault schedule (README
+# "Operating under failure"): service.admission:reject@1 sheds exactly
+# the FIRST map request with a retryable rejection carrying a
+# "retry_after_ms" backoff hint; the client's retry (fresh id, since the
+# protocol treats a resubmitted id as a duplicate while active) then
+# succeeds.  Everything after that first evaluation behaves normally —
+# deterministic triggers make fault drills scriptable.
+FSOCK="/tmp/gmm_serve_demo_faults_$$.sock"
+"$SERVE" "$DATA/board_xcv300.txt" --listen "$FSOCK" \
+    --faults 'seed=7,service.admission:reject@1' &
+FAULT_SERVER_PID=$!
+trap 'kill "$FAULT_SERVER_PID" 2>/dev/null; rm -f "$FSOCK"' EXIT
+tries=0
+while [ ! -S "$FSOCK" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1))
+  sleep 0.1
+done
+
+FAULT_OUT="$("$SERVE" --connect "$FSOCK" <<EOF
+{"id":"doomed","method":"map","design_path":"$DATA/design_filter.txt"}
+{"id":"retry","method":"map","design_path":"$DATA/design_filter.txt"}
+EOF
+)"
+FAULT_SHUTDOWN="$(printf '{"method":"shutdown"}\n' | "$SERVE" --connect "$FSOCK")"
+wait "$FAULT_SERVER_PID"
+trap - EXIT
+rm -f "$FSOCK"
+
+printf '%s\n%s\n' "$FAULT_OUT" "$FAULT_SHUTDOWN"
+
+DOOMED="$(printf '%s\n' "$FAULT_OUT" | grep '"id":"doomed"' || true)"
+if ! printf '%s\n' "$DOOMED" | grep -q '"status":"rejected"'; then
+  echo "serve_demo: the injected admission fault did not reject" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$DOOMED" | grep -q '"retryable":true'; then
+  echo "serve_demo: the shed rejection was not marked retryable" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$DOOMED" | grep -q '"retry_after_ms":'; then
+  echo "serve_demo: the shed rejection carried no retry_after_ms hint" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$FAULT_OUT" | grep '"id":"retry"' | grep -q '"status":"ok"'; then
+  echo "serve_demo: the retry after the shed rejection did not succeed" >&2
+  exit 1
+fi

@@ -14,6 +14,7 @@
 #include "lp/presolve.hpp"
 #include "lp/standard_form.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -254,6 +255,16 @@ double Search::remaining_seconds() const {
 
 bool Search::limits_hit() {
   if (stop_.load(std::memory_order_relaxed)) return true;
+  if (GMM_FAULT("ilp.node", "stall")) {
+    // Injected wedge: burn wall-clock without advancing the node count or
+    // the progress counter, until something external — the service
+    // watchdog, a deadline, a cancel — stops the solve.  This is the
+    // fault the watchdog exists to catch.
+    while (!(options_.cancel_token && options_.cancel_token->should_stop()) &&
+           timer_.seconds() <= options_.time_limit_seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
   // Cancellation outranks the deadline: a request cancelled after its
   // deadline armed should still report "cancelled", not "timed out".
   if (options_.cancel_token && options_.cancel_token->cancelled()) {
@@ -476,8 +487,18 @@ void Search::Worker::dive(std::shared_ptr<const NodeData> node,
 
   while (true) {
     if (s_.limits_hit()) return;
+    if (GMM_FAULT("ilp.alloc", "fail")) {
+      // Simulated allocation failure at node setup; surfaces through the
+      // same path as a genuine numerical breakdown, which the service
+      // reports as a retryable internal error.
+      s_.request_stop(SolveStatus::kNumericalFailure);
+      return;
+    }
     const std::int64_t node_ordinal =
         s_.nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (s_.options_.progress) {
+      s_.options_.progress->fetch_add(1, std::memory_order_relaxed);
+    }
 
     const std::int64_t pivots_before = engine_->stats().iterations;
     const SolveStatus lp_status = solve_node_lp();
@@ -752,6 +773,9 @@ MipResult Search::run() {
     auto root_engine = lp::make_lp_backend(options_.lp_engine, *sf_);
     for (int round = 0; round < options_.max_cut_rounds; ++round) {
       if (limits_hit()) break;
+      if (options_.progress) {
+        options_.progress->fetch_add(1, std::memory_order_relaxed);
+      }
       lp::SimplexOptions simplex = options_.simplex;
       const double remaining = remaining_seconds();
       if (remaining < kInf) {

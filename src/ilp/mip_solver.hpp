@@ -115,6 +115,12 @@ struct MipOptions {
   /// interrupts even a single long LP solve.  Both are polled at node
   /// boundaries — two relaxed atomic loads, free at our node rates.
   std::shared_ptr<const support::CancelToken> cancel_token;
+  /// Optional liveness counter, bumped once per processed node (and per
+  /// root cut round).  Unlike the node counts in MipResult — which only
+  /// exist after the solve returns — this is readable WHILE the solve
+  /// runs, so a watchdog can tell a slow solve from a wedged one and
+  /// force-cancel the latter.  nullptr (the default) costs nothing.
+  std::shared_ptr<std::atomic<std::int64_t>> progress;
   /// Optional warm incumbent ("MIP start") in ORIGINAL variable space,
   /// installed at the root before any node solves so best-first pruning
   /// bites from node one.  The start is validated against the model like

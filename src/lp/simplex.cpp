@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/timer.hpp"
 
 namespace gmm::lp {
@@ -118,6 +119,18 @@ void DenseTableauBackend::load_basis(const Basis& basis) {
   // snapshot's status whenever the bound it references still exists.
   for (Index j = 0; j < n_; ++j) {
     stat_[j] = detail::normalize_loaded_status(stat_[j], lb_[j], ub_[j]);
+  }
+  if (GMM_FAULT("lp.basis_load", "corrupt")) {
+    // Injected snapshot corruption (see SparseSimplexBackend::load_basis):
+    // flip doubly-bounded nonbasic columns to their other bound so the
+    // dual repair below runs against a genuinely corrupted snapshot.
+    for (Index j = 0; j < n_; ++j) {
+      if (stat_[j] == VStat::kAtLower && ub_[j] < kInf) {
+        stat_[j] = VStat::kAtUpper;
+      } else if (stat_[j] == VStat::kAtUpper && lb_[j] > -kInf) {
+        stat_[j] = VStat::kAtLower;
+      }
+    }
   }
   refactorize();
   compute_duals();

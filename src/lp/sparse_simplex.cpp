@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/timer.hpp"
 
 namespace gmm::lp {
@@ -159,6 +160,19 @@ void SparseSimplexBackend::load_basis(const Basis& basis) {
   stat_ = basis.status;
   for (Index j = 0; j < n_; ++j) {
     stat_[j] = detail::normalize_loaded_status(stat_[j], lb_[j], ub_[j]);
+  }
+  if (GMM_FAULT("lp.basis_load", "corrupt")) {
+    // Injected snapshot corruption: flip every doubly-bounded nonbasic
+    // column to its other bound.  Still a structurally valid basis, but
+    // (generally) dual-infeasible — so the repair sweep below and the
+    // cold logical-basis fallback get exercised for real.
+    for (Index j = 0; j < n_; ++j) {
+      if (stat_[j] == VStat::kAtLower && ub_[j] < kInf) {
+        stat_[j] = VStat::kAtUpper;
+      } else if (stat_[j] == VStat::kAtUpper && lb_[j] > -kInf) {
+        stat_[j] = VStat::kAtLower;
+      }
+    }
   }
   factorize();
   compute_duals();
@@ -343,6 +357,20 @@ void SparseSimplexBackend::factorize() {
   etas_.clear();
   eta_nnz_ = 0;
   std::int64_t work = 0;
+  // Injected singularity: make the first structural basis column read back
+  // as all zeros on the first attempt, forcing one trip through the same
+  // eviction/repair path a genuinely dependent column takes.  (A
+  // structural column is always evictable — at least one logical of a
+  // still-unpivoted row is nonbasic — so the repair below cannot strand.)
+  Index sabotaged_col = -1;
+  if (GMM_FAULT("lu.refactor", "singular")) {
+    for (Index c = 0; c < m_; ++c) {
+      if (!sf_.is_logical(basis_[c])) {
+        sabotaged_col = c;
+        break;
+      }
+    }
+  }
   // Left-looking LU with partial pivoting over the current basis
   // columns.  On a (near-)singular column, repair the basis exactly like
   // the dense engine — evict the dependent column, substitute the free
@@ -358,7 +386,10 @@ void SparseSimplexBackend::factorize() {
       u_cols_[col].clear();
       // Scatter basis column `col` into the dense row workspace.
       const Index bj = basis_[col];
-      if (sf_.is_logical(bj)) {
+      if (attempt == 0 && col == sabotaged_col) {
+        // Leave the workspace zeroed: the column reads as dependent.
+        ++work;
+      } else if (sf_.is_logical(bj)) {
         col_ws_[sf_.logical_row(bj)] = 1.0;
         ++work;
       } else {

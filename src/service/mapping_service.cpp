@@ -16,6 +16,7 @@
 #include "mapping/shard_mapper.hpp"
 #include "mapping/validate.hpp"
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -90,10 +91,56 @@ MappingService::MappingService(std::vector<arch::Board> boards,
   for (std::size_t i = 0; i < boards_.size(); ++i) {
     board_index_.emplace(boards_[i].name(), i);
   }
+  if (options_.watchdog_window_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
   pool_ = std::make_unique<support::ThreadPool>(options_.workers);
 }
 
-MappingService::~MappingService() { drain(); }
+MappingService::~MappingService() {
+  drain();
+  if (watchdog_.joinable()) {
+    {
+      const std::scoped_lock lock(mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void MappingService::watchdog_loop() {
+  const auto window = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.watchdog_window_ms));
+  // Sampling at a quarter window bounds detection latency by 1.25x the
+  // window — comfortably inside the documented 2x-window guarantee even
+  // with cancellation latency on top.
+  const auto tick = std::max<Clock::duration>(
+      window / 4, std::chrono::milliseconds(1));
+  std::unique_lock lock(mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, tick, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    const Clock::time_point now = Clock::now();
+    for (auto& [id, entry] : active_) {
+      if (entry.progress == nullptr) continue;  // still queued
+      const std::int64_t value =
+          entry.progress->load(std::memory_order_relaxed);
+      if (value != entry.last_progress) {
+        entry.last_progress = value;
+        entry.last_change = now;
+        continue;
+      }
+      if (now - entry.last_change >= window && !entry.token->cancelled()) {
+        GMM_LOG(kWarn) << "watchdog: request '" << id
+                       << "' made no progress for "
+                       << options_.watchdog_window_ms
+                       << " ms, force-cancelling as stalled";
+        entry.token->cancel_stalled();
+      }
+    }
+  }
+}
 
 const arch::Board* MappingService::find_board(const std::string& name) const {
   if (name.empty()) return boards_.empty() ? nullptr : &boards_.front();
@@ -140,7 +187,7 @@ void MappingService::handle(const Request& request) {
         const std::scoped_lock lock(mutex_);
         const auto it = active_.find(request.target);
         ack.found = it != active_.end();
-        if (ack.found) it->second->cancel();
+        if (ack.found) it->second.token->cancel();
       }
       sink_(ack);
       return;
@@ -204,12 +251,24 @@ void MappingService::handle_map(const Request& request) {
     }
     reject.status = ResponseStatus::kRejected;
     reject.error = request.reject_reason;
+    // A knob out of range is a client bug: resubmitting the same request
+    // fails the same way, so no backoff hint and not retryable.
     sink_(reject);
     return;
   }
   auto token = std::make_shared<support::CancelToken>();
+  const Clock::time_point admitted = Clock::now();
   {
     const std::scoped_lock lock(mutex_);
+    // Shed only when this request would actually wait behind others: the
+    // EWMA updates at worker pickups, so with an empty queue it is stale
+    // evidence — admitting then lets the fresh near-zero pickup delays
+    // drag the signal back down (otherwise one overload spike would shed
+    // forever).
+    const bool shed =
+        options_.shed_queue_delay_ms > 0 &&
+        queue_delay_ewma_ms_ > options_.shed_queue_delay_ms &&
+        pending_ >= pool_->worker_count();
     if (active_.contains(request.id)) {
       // kRejected (not kError) keeps the wire unambiguous: "rejected"
       // always means THIS submission was refused at admission, never
@@ -219,15 +278,47 @@ void MappingService::handle_map(const Request& request) {
       ++stats_.rejected;
       reject.status = ResponseStatus::kRejected;
       reject.error = "duplicate id '" + request.id + "' is still active";
+    } else if (GMM_FAULT("service.admission", "reject")) {
+      ++stats_.rejected;
+      ++stats_.shed_overload;
+      reject.status = ResponseStatus::kRejected;
+      reject.error = "injected fault: admission shed";
+      reject.retryable = true;
+      reject.retry_after_ms = std::max<std::int64_t>(
+          static_cast<std::int64_t>(queue_delay_ewma_ms_), 10);
+    } else if (shed) {
+      // Overload: the queue is moving too slowly for new work to meet
+      // any reasonable expectation.  Shed now with an honest backoff
+      // hint — the observed delay itself is the best estimate of when
+      // capacity frees up.
+      ++stats_.rejected;
+      ++stats_.shed_overload;
+      reject.status = ResponseStatus::kRejected;
+      reject.error = "shed: observed queue delay " +
+                     std::to_string(static_cast<long>(queue_delay_ewma_ms_)) +
+                     " ms exceeds " +
+                     std::to_string(
+                         static_cast<long>(options_.shed_queue_delay_ms)) +
+                     " ms";
+      reject.retryable = true;
+      reject.retry_after_ms = std::min<std::int64_t>(
+          std::max<std::int64_t>(
+              static_cast<std::int64_t>(queue_delay_ewma_ms_), 10),
+          30000);
     } else if (pending_ >= options_.max_pending) {
       ++stats_.rejected;
       reject.status = ResponseStatus::kRejected;
       reject.error = "queue full (" + std::to_string(options_.max_pending) +
                      " pending)";
+      reject.retryable = true;
+      reject.retry_after_ms = std::max<std::int64_t>(
+          static_cast<std::int64_t>(queue_delay_ewma_ms_), 10);
     } else {
       ++stats_.accepted;
       ++pending_;
-      active_.emplace(request.id, token);
+      ActiveRequest slot;
+      slot.token = token;
+      active_.emplace(request.id, std::move(slot));
       reject.status = ResponseStatus::kOk;  // marker: admitted
     }
   }
@@ -239,30 +330,61 @@ void MappingService::handle_map(const Request& request) {
   if (request.map.deadline_ms >= 0) {
     token->set_deadline_after_seconds(request.map.deadline_ms / 1000.0);
   }
-  pool_->submit(
-      [this, id = request.id, v = request.version, map = request.map, token] {
-        run_map(id, v, map, token);
-      });
+  pool_->submit([this, id = request.id, v = request.version,
+                 map = request.map, token, admitted] {
+    run_map(id, v, map, token, admitted);
+  });
 }
 
 void MappingService::run_map(const std::string& id, int version,
                              const MapRequest& request,
-                             const support::CancelTokenPtr& token) {
+                             const support::CancelTokenPtr& token,
+                             Clock::time_point admitted) {
   Response response;
   response.id = id;
   response.method = "map";
   response.v = version;
 
+  // Fold this request's observed queue wait into the overload signal.
+  // Recorded unconditionally (shedding enabled or not) so the EWMA is
+  // warm the moment an operator turns the threshold on.
+  {
+    const double delay_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - admitted)
+            .count();
+    const std::scoped_lock lock(mutex_);
+    queue_delay_ewma_ms_ =
+        queue_delay_ewma_ms_ == 0.0
+            ? delay_ms
+            : 0.7 * queue_delay_ewma_ms_ + 0.3 * delay_ms;
+  }
+
   // A request whose token fired while queued never starts a solve.
   if (token->should_stop()) {
     response.status = token->cancelled() ? ResponseStatus::kCancelled
                                          : ResponseStatus::kTimeout;
+    response.retryable = response.status == ResponseStatus::kTimeout;
     {
       const std::scoped_lock lock(mutex_);
       ++stats_.cache.bypasses;  // never reached the cache
     }
     finish(std::move(response));
     return;
+  }
+
+  // From here the solve is RUNNING: register the liveness counter so the
+  // watchdog starts judging it.  The registration instant counts as the
+  // last progress change, so a fresh solve gets one full window to
+  // produce its first node.
+  auto progress = std::make_shared<std::atomic<std::int64_t>>(0);
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = active_.find(id);
+    if (it != active_.end()) {
+      it->second.progress = progress;
+      it->second.last_progress = 0;
+      it->second.last_change = Clock::now();
+    }
   }
 
   const auto bail = [&](std::string message) {
@@ -309,6 +431,7 @@ void MappingService::run_map(const std::string& id, int version,
 
   ilp::MipOptions mip;
   mip.cancel_token = token;
+  mip.progress = progress;
   // The one shared mapping from wire knobs onto MipOptions (gap,
   // node/time budgets, basis cache, threads clamped to the server cap).
   apply_solver_knobs(request.knobs, options_.max_threads_per_solve, mip);
@@ -399,6 +522,10 @@ void MappingService::run_map(const std::string& id, int version,
         ok = std::abs(replayed.objective - hit->objective) <=
              1e-6 * std::max(1.0, std::abs(hit->objective));
       }
+      // Injected entry corruption: the replay verified fine, but we
+      // pretend it did not — driving the exact poison/cold-solve/alert
+      // path a genuinely corrupted entry would take.
+      if (ok && GMM_FAULT("cache.verify", "corrupt")) ok = false;
       if (ok) {
         {
           const std::scoped_lock lock(mutex_);
@@ -420,6 +547,17 @@ void MappingService::run_map(const std::string& id, int version,
       // every future resubmission of this request.
       cache_.erase(probe->full);
       verify_failed = true;
+      // Alert once per fingerprint — repeated corruption of the same
+      // entry (or a hot key being resubmitted) must not storm the log.
+      {
+        const std::scoped_lock lock(mutex_);
+        if (logged_poisoned_.insert(probe->full).second) {
+          GMM_LOG(kWarn) << "cache: poisoned entry evicted, fingerprint "
+                         << probe->full.hi << ":" << probe->full.lo
+                         << " failed replay verification (request '" << id
+                         << "'); answering with a cold solve";
+        }
+      }
     }
     // Near-miss warm re-solves stay a plain-global feature: a portfolio
     // request races cold (its lanes' value is finding the fast prover).
@@ -613,6 +751,18 @@ void MappingService::run_map(const std::string& id, int version,
   }
 
   response.status = classify(status, mip_result);
+  // A watchdog kill travels through the ordinary cancellation machinery
+  // (the solver stops with kCancelled); the token's cause upgrades the
+  // wire status so clients can tell "you cancelled it" from "the server
+  // killed a wedged solve" — only the latter is worth retrying.
+  if (response.status == ResponseStatus::kCancelled && token->stalled()) {
+    response.status = ResponseStatus::kStalled;
+    response.stop_reason = "stalled";
+  }
+  // Verify-fail cold solves are explicitly NOT degraded: corruption was
+  // detected and the client got a fresh full-fidelity solve.  The marker
+  // (plus the verify_fails counter) is what monitoring alerts on.
+  if (verify_failed) response.degraded = 0;
   // A result payload only when the solve produced a usable mapping —
   // i.e. detailed placement succeeded.  This excludes both a
   // timeout/cancel/infeasible with no incumbent (whose
@@ -622,7 +772,8 @@ void MappingService::run_map(const std::string& id, int version,
   if (detailed.success && assignment.complete()) {
     response.has_result = true;
     response.solve_status = lp::to_string(status);
-    if (mip_result.stop_reason != SolveStatus::kOptimal) {
+    if (mip_result.stop_reason != SolveStatus::kOptimal &&
+        response.status != ResponseStatus::kStalled) {
       response.stop_reason = lp::to_string(mip_result.stop_reason);
     }
     response.objective = assignment.objective;
@@ -633,6 +784,12 @@ void MappingService::run_map(const std::string& id, int version,
     response.error =
         "solver failed: " + std::string(lp::to_string(status));
   }
+  // Taxonomy for solve outcomes: timeouts, stalls, and internal solver
+  // failures are transient server-side conditions (retryable); cancelled
+  // and infeasible are deterministic for this request.
+  response.retryable = response.status == ResponseStatus::kTimeout ||
+                       response.status == ResponseStatus::kStalled ||
+                       response.status == ResponseStatus::kError;
   if (detailed.success) append_placements(response, design, *board, detailed);
 
   // Insert only fully PROVED cold results: solve status optimal AND the
@@ -698,6 +855,7 @@ void MappingService::finish(Response response) {
     ++stats_.completed;
     if (response.status == ResponseStatus::kCancelled) ++stats_.cancelled;
     if (response.status == ResponseStatus::kTimeout) ++stats_.timed_out;
+    if (response.status == ResponseStatus::kStalled) ++stats_.stalled;
   }
   sink_(response);
   {

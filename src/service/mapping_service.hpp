@@ -20,6 +20,13 @@
 //     incrementally from the cached assignment via mapping::remap
 //     (see service/solution_cache.hpp; per-request opt-out with
 //     options.no_cache, disable with cache_capacity = 0);
+//   * adaptive OVERLOAD SHEDDING — when the smoothed OBSERVED queue
+//     delay (admission to worker pickup) exceeds shed_queue_delay_ms,
+//     new requests are rejected at admission with a retry_after_ms
+//     backoff hint instead of silently queuing toward their deadlines;
+//   * a stall WATCHDOG — a running solve whose progress counter stops
+//     advancing for watchdog_window_ms is force-cancelled and its
+//     request terminates with status "stalled" (retryable);
 //   * graceful DRAIN — drain() blocks until every admitted request has
 //     emitted its terminal response, which is also the shutdown path.
 //
@@ -32,13 +39,16 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/board.hpp"
@@ -65,6 +75,25 @@ struct ServiceOptions {
   /// solve toward the stable prior assignment.  The REPORTED objective
   /// stays pure (the penalty only steers the search); 0 disables it.
   double near_miss_migration_penalty = 1e-3;
+  /// Adaptive overload shedding: when the EWMA of the OBSERVED queue
+  /// delay (admission to worker pickup) exceeds this many milliseconds,
+  /// new map requests are rejected at admission with a retry_after_ms
+  /// hint.  Keyed on delay rather than depth: a queue of 60 sub-ms
+  /// replays is healthy while a queue of 3 ten-second solves is not.
+  /// Only requests that would actually wait (>= worker_count already
+  /// pending) are shed — an idle server always admits, which is also how
+  /// the smoothed signal recovers after an overload spike.
+  /// 0 (the default) disables delay-keyed shedding; the bounded
+  /// max_pending queue still applies.
+  double shed_queue_delay_ms = 0.0;
+  /// Stall watchdog window in milliseconds: a RUNNING solve whose
+  /// progress counter (MipOptions::progress, bumped at node boundaries)
+  /// does not advance for this long is force-cancelled and its request
+  /// terminates with status "stalled".  Queued requests are exempt.  The
+  /// window must comfortably exceed the longest single node LP the
+  /// deployment expects (a legitimate solve bumps progress between
+  /// nodes, but not during one).  0 (the default) disables the watchdog.
+  double watchdog_window_ms = 0.0;
 };
 
 // ServiceStats (request accounting + aggregate solver counters) lives in
@@ -103,11 +132,28 @@ class MappingService {
   [[nodiscard]] ServiceStats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Registry slot of one admitted, not-yet-terminal map request.
+  struct ActiveRequest {
+    support::CancelTokenPtr token;
+    /// Solver liveness counter; registered by run_map when the worker
+    /// picks the request up, nullptr while it waits in the queue (the
+    /// watchdog only ever judges running solves).
+    std::shared_ptr<std::atomic<std::int64_t>> progress;
+    std::int64_t last_progress = 0;
+    Clock::time_point last_change{};
+  };
+
   void handle_map(const Request& request);
   void run_map(const std::string& id, int version, const MapRequest& request,
-               const support::CancelTokenPtr& token);
+               const support::CancelTokenPtr& token, Clock::time_point admitted);
   /// Emit the terminal response for `id` and release its registry slot.
   void finish(Response response);
+  /// Watchdog thread body: periodically sweep active_ for running solves
+  /// whose progress counter has been flat for a full window and
+  /// force-cancel them with the stalled cause.
+  void watchdog_loop();
 
   std::vector<arch::Board> boards_;
   std::map<std::string, std::size_t> board_index_;
@@ -119,9 +165,22 @@ class MappingService {
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
-  std::map<std::string, support::CancelTokenPtr> active_;  // id -> token
+  std::map<std::string, ActiveRequest> active_;  // id -> registry slot
   std::size_t pending_ = 0;  // admitted, terminal response not yet emitted
   ServiceStats stats_;
+  /// Smoothed admission-to-pickup delay in ms (guarded by mutex_), the
+  /// overload signal the shedding threshold compares against.
+  double queue_delay_ewma_ms_ = 0.0;
+  /// Fingerprints whose poisoned cache entries were already logged: the
+  /// alert fires once per fingerprint, not once per corrupted replay —
+  /// repeated corruption must not become a log storm.
+  std::set<Fingerprint> logged_poisoned_;
+
+  /// Watchdog thread state; the thread only exists when
+  /// options_.watchdog_window_ms > 0.
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by mutex_
+  std::thread watchdog_;
 
   /// Last so its destructor (which joins workers running run_map) fires
   /// before the members those workers touch are torn down.

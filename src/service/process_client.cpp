@@ -9,12 +9,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "service/socket_server.hpp"
+#include "support/rng.hpp"
 
 namespace gmm::service {
 
@@ -96,6 +98,15 @@ bool ProcessClient::connect(const std::string& spec, double timeout_seconds) {
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_seconds));
+  // Bounded exponential backoff with jitter between attempts: doubling
+  // from 2ms up to a 100ms cap, each sleep drawn uniformly from
+  // [base/2, base] so a storm of clients racing one server's bind does
+  // not retry in lockstep.
+  support::Rng rng(static_cast<std::uint64_t>(::getpid()) ^
+                   static_cast<std::uint64_t>(
+                       std::chrono::steady_clock::now().time_since_epoch()
+                           .count()));
+  double backoff_ms = 2.0;
   while (true) {
     std::string error;
     const int fd = connect_socket_endpoint(endpoint, error);
@@ -111,8 +122,16 @@ bool ProcessClient::connect(const std::string& spec, double timeout_seconds) {
       socket_ = true;
       return true;
     }
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const double jittered =
+        backoff_ms / 2.0 + rng.uniform_real() * (backoff_ms / 2.0);
+    const double sleep_ms = std::min(
+        jittered,
+        std::chrono::duration<double, std::milli>(deadline - now).count());
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(std::max(sleep_ms, 0.5)));
+    backoff_ms = std::min(backoff_ms * 2.0, 100.0);
   }
 }
 

@@ -3,6 +3,8 @@
 #include <array>
 #include <string_view>
 
+#include "support/fault.hpp"
+
 namespace gmm::service {
 
 namespace {
@@ -33,6 +35,10 @@ int count_unknown_fields(const Json& object,
 
 Request parse_request_line(const std::string& line) {
   Request request;
+  if (GMM_FAULT("service.json", "fail")) {
+    request.error = "injected fault: json parse failure";
+    return request;
+  }
   const JsonParseResult parsed = parse_json(line);
   if (!parsed.ok) {
     request.error = "bad json: " + parsed.error;
@@ -147,6 +153,8 @@ const char* to_string(ResponseStatus status) {
       return "timeout";
     case ResponseStatus::kCancelled:
       return "cancelled";
+    case ResponseStatus::kStalled:
+      return "stalled";
     case ResponseStatus::kInfeasible:
       return "infeasible";
     case ResponseStatus::kRejected:
@@ -164,13 +172,20 @@ Json Response::to_json() const {
   if (v > 0) object["v"] = v;
   object["status"] = std::string(to_string(status));
   if (!error.empty()) object["error"] = error;
+  // The taxonomy rides on every non-ok response; ok responses (and the
+  // synchronous acks, which are always ok) keep their legacy shape.
+  if (status != ResponseStatus::kOk) object["retryable"] = retryable;
+  if (retry_after_ms > 0) object["retry_after_ms"] = retry_after_ms;
+  if (degraded >= 0) object["degraded"] = degraded > 0;
+  // Outside the has_result block: a stalled solve with no incumbent has
+  // no result payload but still owes the client its stop reason.
+  if (!stop_reason.empty()) object["stop_reason"] = stop_reason;
   if (!target.empty()) {
     object["target"] = target;
     object["found"] = found;
   }
   if (has_result) {
     object["solve_status"] = solve_status;
-    if (!stop_reason.empty()) object["stop_reason"] = stop_reason;
     object["objective"] = objective;
     object["nodes"] = nodes;
     object["seconds"] = seconds;
@@ -208,6 +223,8 @@ Json Response::to_json() const {
     object["completed"] = stats.completed;
     object["cancelled"] = stats.cancelled;
     object["timed_out"] = stats.timed_out;
+    object["stalled"] = stats.stalled;
+    object["shed_overload"] = stats.shed_overload;
     object["unknown_field_requests"] = stats.unknown_field_requests;
     JsonObject solver;
     solver["solves"] = stats.solves;
@@ -276,8 +293,9 @@ bool Response::from_json(const Json& value, Response& out) {
   bool known = false;
   for (const ResponseStatus s :
        {ResponseStatus::kOk, ResponseStatus::kTimeout,
-        ResponseStatus::kCancelled, ResponseStatus::kInfeasible,
-        ResponseStatus::kRejected, ResponseStatus::kError}) {
+        ResponseStatus::kCancelled, ResponseStatus::kStalled,
+        ResponseStatus::kInfeasible, ResponseStatus::kRejected,
+        ResponseStatus::kError}) {
     if (status == to_string(s)) {
       out.status = s;
       known = true;
@@ -288,6 +306,14 @@ bool Response::from_json(const Json& value, Response& out) {
   out.error = value.get_string("error");
   out.target = value.get_string("target");
   out.found = value.get_bool("found", false);
+  out.retryable = value.get_bool("retryable", false);
+  out.retry_after_ms =
+      static_cast<std::int64_t>(value.get_number("retry_after_ms", 0.0));
+  const Json* degraded = value.find("degraded");
+  if (degraded != nullptr && degraded->is_bool()) {
+    out.degraded = degraded->as_bool() ? 1 : 0;
+  }
+  out.stop_reason = value.get_string("stop_reason");
   const Json* solve_status = value.find("solve_status");
   if (solve_status != nullptr && solve_status->is_string()) {
     out.has_result = true;
@@ -336,6 +362,8 @@ bool Response::from_json(const Json& value, Response& out) {
     out.stats.completed = count("completed");
     out.stats.cancelled = count("cancelled");
     out.stats.timed_out = count("timed_out");
+    out.stats.stalled = count("stalled");
+    out.stats.shed_overload = count("shed_overload");
     out.stats.unknown_field_requests = count("unknown_field_requests");
     const Json* solver = value.find("solver");
     if (solver != nullptr && solver->is_object()) {

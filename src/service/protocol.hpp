@@ -46,9 +46,15 @@
 //    "placements":[{"segment":"s0","type":"blockram","instance":0,
 //                   "first_port":0,"ports":1,"config":"256x16",
 //                   "offset_bits":0,"block_bits":4096,"kind":"full"}, ...]}
-//   status is one of: ok | timeout | cancelled | infeasible | rejected |
-//   error.  timeout / cancelled responses still carry the best-effort
-//   partial result when the stopped solve had an incumbent.  A "sharded"
+//   status is one of: ok | timeout | cancelled | stalled | infeasible |
+//   rejected | error.  timeout / cancelled responses still carry the
+//   best-effort partial result when the stopped solve had an incumbent.
+//   Every non-ok response carries "retryable" (true = transient
+//   server-side condition, retrying may succeed; false = deterministic
+//   outcome, retrying unchanged will fail again), and overload
+//   rejections add "retry_after_ms", a backoff hint derived from the
+//   observed queue delay.  "stalled" means the service watchdog
+//   force-cancelled a solve that stopped making progress.  A "sharded"
 //   map additionally reports "shards" (per-device sub-mappings stitched
 //   together) and "stitch_cost" (the weighted inter-device transfer term
 //   included in "objective").  A map answered from the solution cache
@@ -64,7 +70,8 @@
 //   out with options.no_cache — solve cold, insert nothing.
 //
 //   {"id":"s1","method":"stats","status":"ok","accepted":3,"rejected":0,
-//    "completed":3,"cancelled":0,"timed_out":1,"unknown_field_requests":0,
+//    "completed":3,"cancelled":0,"timed_out":1,"stalled":0,
+//    "shed_overload":0,"unknown_field_requests":0,
 //    "solver":{"solves":3,"nodes":120,"lp_iterations":987,
 //              "sharded_requests":1,"shard_solves":4,
 //              "bases_stored":64,"bases_loaded":60,"bases_evicted":0,
@@ -124,6 +131,13 @@ struct ServiceStats {
   std::int64_t completed = 0;  // terminal responses emitted, any status
   std::int64_t cancelled = 0;
   std::int64_t timed_out = 0;
+  /// Solves the watchdog force-cancelled for making no progress; the
+  /// request terminated with status "stalled".
+  std::int64_t stalled = 0;
+  /// Subset of `rejected`: requests shed by the adaptive overload control
+  /// (observed queue delay above the shed threshold), not by a full
+  /// queue or a bad request.  These all carried a retry_after_ms hint.
+  std::int64_t shed_overload = 0;
   /// Requests (any method) that carried at least one unknown top-level
   /// field — ignored for compatibility, counted for monitoring.
   std::int64_t unknown_field_requests = 0;
@@ -231,12 +245,17 @@ enum class ResponseStatus : std::uint8_t {
   kOk,
   kTimeout,
   kCancelled,
+  /// The service watchdog force-cancelled the solve because it stopped
+  /// making progress for the configured window (wedged worker, injected
+  /// stall).  Retryable: the wedge is a server-side condition, not a
+  /// property of the request.
+  kStalled,
   kInfeasible,
-  /// Admission refused — bounded queue full, the id is still active
-  /// (duplicate submission), or a solver knob was out of range.  Never a
-  /// solve outcome: an in-flight request with the same id is unaffected
-  /// and will still emit its own terminal response.  Resubmit later /
-  /// with a fresh id / with corrected knobs.
+  /// Admission refused — bounded queue full, overload shedding, a
+  /// per-client quota, the id is still active (duplicate submission), or
+  /// a solver knob was out of range.  Never a solve outcome: an in-flight
+  /// request with the same id is unaffected and will still emit its own
+  /// terminal response.  Overload rejections carry retry_after_ms.
   kRejected,
   kError,  // bad request, unknown board, parse failure, solver failure
 };
@@ -267,6 +286,24 @@ struct Response {
   std::string error;   // set for error/rejected
   std::string target;  // cancel acks: the cancelled id
   bool found = false;  // cancel acks: target was active
+
+  /// Error taxonomy, serialized on every non-ok response so clients can
+  /// implement correct backoff without pattern-matching error strings:
+  /// true = transient server-side condition (overload shed, queue full,
+  /// quota, timeout, stall, internal solver failure) — retrying the same
+  /// request may succeed; false = deterministic outcome (bad request,
+  /// infeasible, cancelled, duplicate id, out-of-range knob) — retrying
+  /// unchanged will fail again.
+  bool retryable = false;
+  /// Backoff hint on overload rejections, derived from the observed queue
+  /// delay; serialized only when > 0.
+  std::int64_t retry_after_ms = 0;
+  /// Tri-state degradation marker: -1 = absent from the wire (the normal
+  /// case), 0 = "degraded":false, 1 = "degraded":true.  A cache replay
+  /// that failed re-verification answers with a fresh cold solve marked
+  /// "degraded":false — corruption was detected and did NOT degrade the
+  /// result.
+  int degraded = -1;
 
   // Mapping payload (has_result == true when a solve produced a mapping;
   // timeout/cancelled responses may carry a partial incumbent's mapping).

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "service/protocol.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 
 namespace gmm::service {
@@ -374,10 +375,19 @@ void SocketServer::accept_clients() {
   while (conns_.size() < options_.max_clients) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
+      // A signal between poll and accept must not orphan the pending
+      // connection until the next poll round: retry now.
+      if (errno == EINTR) continue;
       // EAGAIN: accepted everything pending.  Other errors (e.g. a
       // client that disconnected between poll and accept) are per-client
       // and must not stop the server.
       return;
+    }
+    if (GMM_FAULT("socket.accept", "fail")) {
+      // Injected accept failure: tear the connection down before it ever
+      // becomes a Connection, as if the client vanished mid-handshake.
+      ::close(fd);
+      continue;
     }
     if (!set_nonblocking(fd)) {
       ::close(fd);
@@ -398,7 +408,21 @@ void SocketServer::accept_clients() {
 void SocketServer::read_client(Connection& conn) {
   char chunk[65536];
   while (true) {
-    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    // Fault shims ahead of the real read: a forced EINTR exercises the
+    // retry below, a forced ECONNRESET the drop path, and a short read
+    // (1 byte) the partial-line reassembly in LineSplitter.
+    ssize_t n;
+    if (GMM_FAULT("socket.read", "eintr")) {
+      n = -1;
+      errno = EINTR;
+    } else if (GMM_FAULT("socket.read", "econnreset")) {
+      n = -1;
+      errno = ECONNRESET;
+    } else if (GMM_FAULT("socket.read", "short")) {
+      n = ::read(conn.fd, chunk, 1);
+    } else {
+      n = ::read(conn.fd, chunk, sizeof(chunk));
+    }
     if (n > 0) {
       conn.in.feed(chunk, static_cast<std::size_t>(n));
       conn.bytes_in += n;
@@ -477,6 +501,26 @@ void SocketServer::dispatch_line(Connection& conn, const std::string& line) {
   ++conn.requests;
   ++transport_.requests;
   const Request request = parse_request_line(line);
+  if (request.method == Method::kMap &&
+      options_.max_inflight_per_client > 0 &&
+      conn.inflight.size() >= options_.max_inflight_per_client) {
+    // Per-client quota: rejected at the transport layer, never reaching
+    // the service — the shared admission queue stays available to other
+    // clients while this one firehoses.
+    ++conn.shed;
+    ++transport_.shed;
+    Response reject;
+    reject.id = request.id;
+    reject.method = "map";
+    reject.v = request.version;
+    reject.status = ResponseStatus::kRejected;
+    reject.error = "rejected: client in-flight quota reached (" +
+                   std::to_string(options_.max_inflight_per_client) + ")";
+    reject.retryable = true;
+    reject.retry_after_ms = 50;
+    deliver(conn, reject);
+    return;
+  }
   current_ = &conn;
   current_map_id_.clear();
   current_inserted_route_ = false;
@@ -582,9 +626,21 @@ void SocketServer::deliver(Connection& conn, const Response& response) {
 
 void SocketServer::flush(Connection& conn) {
   while (conn.out_offset < conn.out.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.out.data() + conn.out_offset,
-               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    // Fault shims mirroring read_client's: partial (1-byte) writes prove
+    // the out_offset carry logic, EINTR the retry, ECONNRESET the drop.
+    ssize_t n;
+    if (GMM_FAULT("socket.write", "eintr")) {
+      n = -1;
+      errno = EINTR;
+    } else if (GMM_FAULT("socket.write", "econnreset")) {
+      n = -1;
+      errno = ECONNRESET;
+    } else if (GMM_FAULT("socket.write", "partial")) {
+      n = ::send(conn.fd, conn.out.data() + conn.out_offset, 1, MSG_NOSIGNAL);
+    } else {
+      n = ::send(conn.fd, conn.out.data() + conn.out_offset,
+                 conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       conn.out_offset += static_cast<std::size_t>(n);
       conn.bytes_out += n;
@@ -673,6 +729,34 @@ int run_socket_server(const SocketServerOptions& socket_options,
   return server.run();
 }
 
+namespace {
+
+/// A blocking connect(2) interrupted by a signal keeps completing in the
+/// background — retrying connect() would yield EALREADY.  The portable
+/// finish is to wait for writability and read SO_ERROR.
+bool finish_interrupted_connect(int fd, std::string& error) {
+  pollfd pfd = {fd, POLLOUT, 0};
+  while (::poll(&pfd, 1, -1) < 0) {
+    if (errno != EINTR) {
+      error = std::strerror(errno);
+      return false;
+    }
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    error = std::strerror(errno);
+    return false;
+  }
+  if (err != 0) {
+    error = std::strerror(err);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int connect_socket_endpoint(const SocketEndpoint& endpoint,
                             std::string& error) {
   if (!endpoint.ok) {
@@ -695,7 +779,9 @@ int connect_socket_endpoint(const SocketEndpoint& endpoint,
     }
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
-      error = std::strerror(errno);
+      const int saved = errno;
+      if (saved == EINTR && finish_interrupted_connect(fd, error)) return fd;
+      if (saved != EINTR) error = std::strerror(saved);
       ::close(fd);
       return -1;
     }
@@ -716,12 +802,19 @@ int connect_socket_endpoint(const SocketEndpoint& endpoint,
   for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    bool connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0;
+    if (!connected) {
+      if (errno == EINTR) {
+        connected = finish_interrupted_connect(fd, error);
+      } else {
+        error = std::strerror(errno);
+      }
+    }
+    if (connected) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       break;
     }
-    error = std::strerror(errno);
     ::close(fd);
     fd = -1;
   }
@@ -752,6 +845,7 @@ int run_socket_client(const std::string& spec) {
     if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       char buf[65536];
       const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;  // interrupted, not closed
       if (n <= 0) break;  // server closed: the session is over
       if (std::fwrite(buf, 1, static_cast<std::size_t>(n), stdout) !=
           static_cast<std::size_t>(n)) {
@@ -763,6 +857,7 @@ int run_socket_client(const std::string& spec) {
     if (stdin_open && (pfds[1].revents & (POLLIN | POLLHUP)) != 0) {
       char buf[65536];
       const ssize_t n = ::read(0, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;  // interrupted, not EOF
       if (n <= 0) {
         // Batch sent: half-close and keep reading responses.
         stdin_open = false;

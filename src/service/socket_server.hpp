@@ -97,6 +97,14 @@ struct SocketServerOptions {
   /// A connection whose unflushed response backlog exceeds this is
   /// dropped as a slow consumer (its in-flight requests are cancelled).
   std::size_t max_write_buffer_bytes = 64u << 20;
+  /// Per-client in-flight quota: a map request arriving while this many
+  /// of the SAME connection's map requests are still unanswered is
+  /// rejected at the transport layer (status "rejected", retryable, with
+  /// a retry_after_ms hint) without ever reaching the service — one
+  /// firehosing client cannot monopolize the shared admission queue.
+  /// 0 (the default) disables the quota; the service-wide max_pending
+  /// bound still applies.
+  std::size_t max_inflight_per_client = 0;
 };
 
 /// Serve until a "shutdown" request; returns a process exit code (0 on a

@@ -27,8 +27,20 @@ class CancelToken {
   /// Request cooperative cancellation.  Irrevocable.
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
+  /// Cancel because the governed solve stopped making progress (watchdog).
+  /// The solver still stops through the ordinary cancelled() path; the
+  /// cause lets the requester report `stalled` instead of `cancelled`.
+  void cancel_stalled() {
+    stalled_.store(true, std::memory_order_relaxed);
+    cancel();
+  }
+
   [[nodiscard]] bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool stalled() const {
+    return stalled_.load(std::memory_order_relaxed);
   }
 
   /// Arm (or move) the absolute deadline.
@@ -76,6 +88,7 @@ class CancelToken {
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> stalled_{false};
   std::atomic<bool> has_deadline_{false};
   std::atomic<Clock::rep> deadline_ns_{0};
 };

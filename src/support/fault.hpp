@@ -1,0 +1,152 @@
+// Deterministic, named fault-point injection.
+//
+// Production failure modes — partial socket writes, singular LU
+// refactorizations, corrupted cache entries, wedged solves — are rare by
+// construction, so the code paths that absorb them rot unless they can be
+// forced on demand.  This registry names each such path as a fault *site*
+// and lets a test (or an operator, via the GMM_FAULTS environment variable)
+// arm a deterministic schedule of failures against it.
+//
+// Grammar (round-trippable through fault_spec_to_string):
+//
+//   spec     := [ "seed=" u64 "," ] clause { "," clause }
+//   clause   := site ":" action "@" trigger | site ":" action
+//   trigger  := real in (0,1)   fire each evaluation with that probability
+//             | integer N >= 1  fire on exactly the Nth evaluation
+//             | "once"          alias for @1
+//             | "always"        fire on every evaluation (also the default)
+//
+// Example: GMM_FAULTS="seed=7,socket.write:partial@0.05,lu.refactor:singular@3"
+//
+// Sites and their allowed actions are a closed table (see known_fault_sites);
+// unknown sites or actions reject at parse time, so a typo in a chaos spec
+// fails loudly instead of silently arming nothing.
+//
+// Determinism: each clause draws from its own xoshiro stream seeded by
+// (spec seed, site, action), so one site's evaluation count never perturbs
+// another site's schedule, and the same spec replays the same schedule on
+// every platform.
+//
+// Cost when disarmed: GMM_FAULT is a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gmm::support {
+
+/// When a fault clause fires relative to its site's evaluation count.
+enum class FaultTrigger : std::uint8_t {
+  kAlways,       ///< every evaluation
+  kOnce,         ///< first evaluation only
+  kNth,          ///< exactly the Nth evaluation (1-based)
+  kProbability,  ///< independent Bernoulli draw per evaluation
+};
+
+/// One armed `site:action@trigger` clause.
+struct FaultClause {
+  std::string site;
+  std::string action;
+  FaultTrigger trigger = FaultTrigger::kAlways;
+  double probability = 0.0;  ///< kProbability only, in (0, 1)
+  std::int64_t nth = 1;      ///< kNth only, 1-based
+
+  bool operator==(const FaultClause& other) const {
+    return site == other.site && action == other.action &&
+           trigger == other.trigger && probability == other.probability &&
+           nth == other.nth;
+  }
+};
+
+/// Result of parsing a fault spec string.
+struct FaultSpec {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  std::uint64_t seed = 0;
+  std::vector<FaultClause> clauses;
+};
+
+/// Parse a spec string (see grammar above).  Empty input parses to an ok
+/// spec with no clauses (disarmed).
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Canonical printer; parse_fault_spec(fault_spec_to_string(s)) == s for
+/// any valid spec.  Always leads with the seed clause.
+std::string fault_spec_to_string(const FaultSpec& spec);
+
+/// True when `site` exists and allows `action`.
+bool fault_site_known(const std::string& site, const std::string& action);
+
+/// Every known "site:action" pair, for diagnostics and test sweeps.
+std::vector<std::string> known_fault_points();
+
+/// Counters for one armed clause, for test accounting.
+struct FaultCount {
+  std::string site;
+  std::string action;
+  std::int64_t evaluations = 0;
+  std::int64_t fires = 0;
+};
+
+/// A seeded schedule of armed fault clauses.  Thread-safe; the disarmed
+/// fast path is one relaxed atomic load.  Normally used through the
+/// process-global instance (global_faults() / GMM_FAULT), but tests can
+/// construct private injectors to check schedule determinism.
+class FaultInjector {
+ public:
+  // Both out of line: ArmedClause is incomplete here and the implicit
+  // member definitions need vector<ArmedClause>'s destructor.
+  FaultInjector();
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arm the given spec (replacing any previous one).  Returns false and
+  /// sets `error` on parse failure; the previous arming is kept.
+  bool arm(const std::string& spec_text, std::string& error);
+
+  /// Drop all clauses and reset counters.
+  void disarm();
+
+  /// True when at least one clause is armed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluate the (site, action) point: true when an armed clause says
+  /// this evaluation fails.  Callers go through GMM_FAULT, which skips
+  /// the call entirely when disarmed.
+  bool fire(const char* site, const char* action);
+
+  /// Total fires across all clauses since arming.
+  std::int64_t total_fires() const;
+
+  /// Per-clause counters snapshot.
+  std::vector<FaultCount> counts() const;
+
+  /// The armed spec in canonical form ("" when disarmed).
+  std::string spec_string() const;
+
+ private:
+  struct ArmedClause;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::vector<ArmedClause> clauses_;
+};
+
+/// The process-global injector GMM_FAULT consults.  Arming is always an
+/// explicit act (mapper_serve --faults / GMM_FAULTS read in main / a test
+/// calling arm) — nothing arms at static-init time.
+FaultInjector& global_faults();
+
+}  // namespace gmm::support
+
+/// True when the named fault point should fail right now.  Zero-cost when
+/// no spec is armed (single relaxed load, no function call into the
+/// registry).
+#define GMM_FAULT(site, action)                   \
+  (::gmm::support::global_faults().armed() &&     \
+   ::gmm::support::global_faults().fire((site), (action)))

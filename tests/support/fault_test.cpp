@@ -1,0 +1,283 @@
+// Fault-injection registry: spec grammar round-trip (300-seed property),
+// rejection of malformed / unknown specs, schedule determinism, and the
+// trigger semantics the chaos harness leans on.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace gmm::support {
+namespace {
+
+TEST(FaultSpec, EmptySpecParsesDisarmed) {
+  const FaultSpec spec = parse_fault_spec("");
+  EXPECT_TRUE(spec.ok);
+  EXPECT_TRUE(spec.clauses.empty());
+  EXPECT_EQ(spec.seed, 0u);
+}
+
+TEST(FaultSpec, ParsesEveryTriggerForm) {
+  const FaultSpec spec = parse_fault_spec(
+      "seed=42,lu.refactor:singular,ilp.node:stall@once,"
+      "socket.write:partial@0.25,cache.verify:corrupt@3,"
+      "socket.read:eintr@always");
+  ASSERT_TRUE(spec.ok) << spec.error;
+  EXPECT_EQ(spec.seed, 42u);
+  ASSERT_EQ(spec.clauses.size(), 5u);
+  EXPECT_EQ(spec.clauses[0].trigger, FaultTrigger::kAlways);  // default
+  EXPECT_EQ(spec.clauses[1].trigger, FaultTrigger::kOnce);
+  EXPECT_EQ(spec.clauses[2].trigger, FaultTrigger::kProbability);
+  EXPECT_DOUBLE_EQ(spec.clauses[2].probability, 0.25);
+  EXPECT_EQ(spec.clauses[3].trigger, FaultTrigger::kNth);
+  EXPECT_EQ(spec.clauses[3].nth, 3);
+  EXPECT_EQ(spec.clauses[4].trigger, FaultTrigger::kAlways);
+}
+
+TEST(FaultSpec, WhitespaceAroundClausesIsTolerated) {
+  const FaultSpec spec =
+      parse_fault_spec(" seed=1 , lu.refactor:singular , ilp.node:stall@2 ");
+  ASSERT_TRUE(spec.ok) << spec.error;
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.clauses.size(), 2u);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "nosuchsite:fail",                 // unknown site
+      "lu.refactor:nosuchaction",        // known site, unknown action
+      "lu.refactor",                     // no colon
+      ":singular",                       // empty site
+      "lu.refactor:",                    // empty action
+      "lu.refactor:singular@0.0",        // probability not in (0,1)
+      "lu.refactor:singular@1.0",        // probability not in (0,1)
+      "lu.refactor:singular@-0.5",       // negative probability
+      "lu.refactor:singular@0",          // Nth must be >= 1
+      "lu.refactor:singular@sometimes",  // unknown trigger word
+      "lu.refactor:singular@",           // empty trigger
+      "seed=notanumber,ilp.node:stall",  // malformed seed
+      "ilp.node:stall,seed=3",           // seed not first
+      "seed=1,seed=2,ilp.node:stall",    // duplicate seed
+      "ilp.node:stall,,ilp.alloc:fail",  // empty clause
+      "lu.refactor:singular@3x",         // trailing junk on trigger
+  };
+  for (const char* text : bad) {
+    const FaultSpec spec = parse_fault_spec(text);
+    EXPECT_FALSE(spec.ok) << "accepted: " << text;
+    EXPECT_FALSE(spec.error.empty()) << text;
+  }
+}
+
+TEST(FaultSpec, KnownPointsTableIsClosedAndConsistent) {
+  const std::vector<std::string> points = known_fault_points();
+  // The chaos harness arms every instrumented site; the acceptance floor
+  // is ten distinct sites.
+  EXPECT_GE(points.size(), 10u);
+  for (const std::string& point : points) {
+    const std::vector<std::string> parts = split(point, ':');
+    ASSERT_EQ(parts.size(), 2u) << point;
+    EXPECT_TRUE(fault_site_known(parts[0], parts[1])) << point;
+    // Each listed point must parse as a bare clause.
+    EXPECT_TRUE(parse_fault_spec(point).ok) << point;
+  }
+  EXPECT_FALSE(fault_site_known("lu.refactor", "corrupt"));
+  EXPECT_FALSE(fault_site_known("", ""));
+}
+
+/// Draw a random valid spec over the known points table.
+FaultSpec random_spec(Rng& rng) {
+  const std::vector<std::string> points = known_fault_points();
+  FaultSpec spec;
+  spec.ok = true;
+  spec.seed = rng.next_u64();
+  const std::size_t count = 1 + rng.index(points.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<std::string> parts = split(rng.pick(points), ':');
+    FaultClause clause;
+    clause.site = parts[0];
+    clause.action = parts[1];
+    switch (rng.index(4)) {
+      case 0:
+        clause.trigger = FaultTrigger::kAlways;
+        break;
+      case 1:
+        clause.trigger = FaultTrigger::kOnce;
+        break;
+      case 2:
+        clause.trigger = FaultTrigger::kNth;
+        clause.nth = 1 + static_cast<std::int64_t>(rng.index(1000));
+        break;
+      default:
+        clause.trigger = FaultTrigger::kProbability;
+        // Open interval: squeeze the draw away from the endpoints.
+        clause.probability = 0.999 * rng.uniform_real() + 0.0005;
+        break;
+    }
+    spec.clauses.push_back(std::move(clause));
+  }
+  return spec;
+}
+
+TEST(FaultSpec, PrintParseRoundTripOver300Seeds) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed);
+    const FaultSpec spec = random_spec(rng);
+    const std::string text = fault_spec_to_string(spec);
+    const FaultSpec reparsed = parse_fault_spec(text);
+    ASSERT_TRUE(reparsed.ok) << "seed " << seed << ": " << reparsed.error
+                             << " for '" << text << "'";
+    EXPECT_EQ(reparsed.seed, spec.seed) << text;
+    ASSERT_EQ(reparsed.clauses.size(), spec.clauses.size()) << text;
+    for (std::size_t i = 0; i < spec.clauses.size(); ++i) {
+      EXPECT_TRUE(reparsed.clauses[i] == spec.clauses[i])
+          << "seed " << seed << " clause " << i << " of '" << text << "'";
+    }
+    // Canonical printing is a fixed point.
+    EXPECT_EQ(fault_spec_to_string(reparsed), text);
+  }
+}
+
+TEST(FaultInjector, DisarmedByDefaultAndAfterDisarm) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.spec_string(), "");
+  std::string error;
+  ASSERT_TRUE(injector.arm("seed=1,ilp.node:stall", error)) << error;
+  EXPECT_TRUE(injector.armed());
+  injector.disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.total_fires(), 0);
+}
+
+TEST(FaultInjector, BadSpecKeepsPreviousArming) {
+  FaultInjector injector;
+  std::string error;
+  ASSERT_TRUE(injector.arm("seed=1,ilp.node:stall@once", error)) << error;
+  EXPECT_FALSE(injector.arm("bogus:site", error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_TRUE(injector.fire("ilp.node", "stall"));  // old spec still live
+}
+
+TEST(FaultInjector, OnceAndNthFireExactlyOnce) {
+  FaultInjector injector;
+  std::string error;
+  ASSERT_TRUE(
+      injector.arm("seed=9,ilp.node:stall@once,ilp.alloc:fail@3", error))
+      << error;
+  int stall_fires = 0;
+  int alloc_fires = 0;
+  int alloc_fire_index = -1;
+  for (int i = 1; i <= 10; ++i) {
+    if (injector.fire("ilp.node", "stall")) ++stall_fires;
+    if (injector.fire("ilp.alloc", "fail")) {
+      ++alloc_fires;
+      alloc_fire_index = i;
+    }
+  }
+  EXPECT_EQ(stall_fires, 1);
+  EXPECT_EQ(alloc_fires, 1);
+  EXPECT_EQ(alloc_fire_index, 3);  // exactly the Nth evaluation, 1-based
+  const std::vector<FaultCount> counts = injector.counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].evaluations, 10);
+  EXPECT_EQ(counts[0].fires, 1);
+  EXPECT_EQ(injector.total_fires(), 2);
+}
+
+TEST(FaultInjector, UnarmedPointNeverFires) {
+  FaultInjector injector;
+  std::string error;
+  ASSERT_TRUE(injector.arm("seed=4,socket.read:eintr@always", error)) << error;
+  EXPECT_FALSE(injector.fire("socket.read", "short"));
+  EXPECT_FALSE(injector.fire("socket.write", "eintr"));
+  EXPECT_TRUE(injector.fire("socket.read", "eintr"));
+}
+
+TEST(FaultInjector, ProbabilityScheduleIsDeterministicPerSeed) {
+  const std::string spec =
+      "seed=123,socket.write:partial@0.3,socket.read:short@0.3";
+  FaultInjector a;
+  FaultInjector b;
+  std::string error;
+  ASSERT_TRUE(a.arm(spec, error)) << error;
+  ASSERT_TRUE(b.arm(spec, error)) << error;
+  std::vector<bool> trace_a;
+  std::vector<bool> trace_b;
+  for (int i = 0; i < 500; ++i) {
+    trace_a.push_back(a.fire("socket.write", "partial"));
+    trace_b.push_back(b.fire("socket.write", "partial"));
+  }
+  EXPECT_EQ(trace_a, trace_b);  // same spec => identical schedule
+
+  // Interleaving another site's evaluations must not perturb the stream:
+  // replay on a fresh injector with read evaluations mixed in.
+  FaultInjector c;
+  ASSERT_TRUE(c.arm(spec, error)) << error;
+  std::vector<bool> trace_c;
+  for (int i = 0; i < 500; ++i) {
+    (void)c.fire("socket.read", "short");
+    trace_c.push_back(c.fire("socket.write", "partial"));
+    (void)c.fire("socket.read", "short");
+  }
+  EXPECT_EQ(trace_c, trace_a);
+
+  // A different seed gives a different schedule (500 draws at p=0.3
+  // colliding by chance is ~impossible; this guards seed plumbing).
+  FaultInjector d;
+  ASSERT_TRUE(
+      d.arm("seed=124,socket.write:partial@0.3,socket.read:short@0.3", error))
+      << error;
+  std::vector<bool> trace_d;
+  for (int i = 0; i < 500; ++i) {
+    trace_d.push_back(d.fire("socket.write", "partial"));
+  }
+  EXPECT_NE(trace_d, trace_a);
+}
+
+TEST(FaultInjector, ProbabilityFireRateTracksP) {
+  FaultInjector injector;
+  std::string error;
+  ASSERT_TRUE(injector.arm("seed=7,ilp.node:stall@0.2", error)) << error;
+  int fires = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (injector.fire("ilp.node", "stall")) ++fires;
+  }
+  // p=0.2 over 5000 draws: expect ~1000, allow +-15%.
+  EXPECT_GT(fires, 850);
+  EXPECT_LT(fires, 1150);
+}
+
+TEST(FaultInjector, SpecStringRoundTripsThroughArm) {
+  FaultInjector injector;
+  std::string error;
+  ASSERT_TRUE(injector.arm(
+      "seed=77,lu.refactor:singular@once,socket.write:partial@0.125", error))
+      << error;
+  const std::string canonical = injector.spec_string();
+  EXPECT_EQ(canonical,
+            "seed=77,lu.refactor:singular@once,socket.write:partial@0.125");
+  FaultInjector replay;
+  ASSERT_TRUE(replay.arm(canonical, error)) << error;
+  EXPECT_EQ(replay.spec_string(), canonical);
+}
+
+TEST(FaultInjector, GlobalMacroIsFalseWhenDisarmed) {
+  ASSERT_FALSE(global_faults().armed());
+  EXPECT_FALSE(GMM_FAULT("ilp.node", "stall"));
+  std::string error;
+  ASSERT_TRUE(global_faults().arm("seed=2,ilp.node:stall@once", error))
+      << error;
+  EXPECT_TRUE(GMM_FAULT("ilp.node", "stall"));
+  EXPECT_FALSE(GMM_FAULT("ilp.node", "stall"));  // once already spent
+  global_faults().disarm();
+  EXPECT_FALSE(GMM_FAULT("ilp.node", "stall"));
+}
+
+}  // namespace
+}  // namespace gmm::support
